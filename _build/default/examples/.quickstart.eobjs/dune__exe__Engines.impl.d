@@ -1,0 +1,1 @@
+examples/engines.ml: Atom Datalog Datom Dprogram Dqsq Eval Fact_store List Magic Parser Printf Program Qsq Qsq_engine String Term

@@ -1,0 +1,1 @@
+examples/online_supervision.ml: Canon Datalog Diagnosis List Online Petri Printf Product Random Report String

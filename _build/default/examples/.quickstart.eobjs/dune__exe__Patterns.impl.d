@@ -1,0 +1,1 @@
+examples/patterns.ml: Canon Datalog Diagnoser Diagnosis List Pattern Petri Printf Reference String Supervisor

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Canon Datalog Diagnoser Diagnosis Format List Petri Printf Product String

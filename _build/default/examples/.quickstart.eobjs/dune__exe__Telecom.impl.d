@@ -1,0 +1,1 @@
+examples/telecom.ml: Canon Datalog Diagnoser Diagnosis List Network Petri Printf Random String

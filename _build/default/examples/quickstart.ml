@@ -1,0 +1,60 @@
+(* Quickstart: the paper's running example end to end.
+
+   Builds the Figure 1 net, shows its unfolding (Figure 2), and diagnoses
+   the alarm sequence (b,p1)(a,p2)(c,p1) of Section 2 with the Datalog
+   diagnoser, checking the result against the dedicated algorithm of [8].
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Diagnosis
+
+let () =
+  (* 1. The distributed Petri net of Figure 1: two peers, seven places,
+        five transitions. *)
+  let net = Petri.Examples.running_example () in
+  Format.printf "The running example net:@.%a@.@." Petri.Net.pp net;
+
+  (* The Datalog encoding wants every transition to have exactly two parent
+     places; [binarize] adds invisible slack places where needed. *)
+  let net = Petri.Net.binarize net in
+
+  (* 2. Its unfolding (Figure 2): every possible execution, as a net. *)
+  let u = Petri.Unfolding.unfold net in
+  Printf.printf "Unfolding: %d conditions, %d events (complete: %b)\n\n"
+    (Petri.Unfolding.num_conds u) (Petri.Unfolding.num_events u)
+    (Petri.Unfolding.is_complete u);
+
+  (* 3. The supervisor observes three alarms, asynchronously interleaved. *)
+  let alarms = Petri.Examples.running_alarms () in
+  Printf.printf "Observed alarm sequence: %s\n\n" (Petri.Alarm.to_string alarms);
+
+  (* 4. Diagnose with the paper's machinery: the net encoded as a dDatalog
+        program (Section 4.1), the supervisor's configPrefixes rules
+        (Section 4.2), evaluated goal-directedly with QSQ. *)
+  let r = Diagnoser.diagnose net alarms in
+  Printf.printf "Diagnosis (%d explanations):\n" (List.length r.Diagnoser.diagnosis);
+  List.iteri
+    (fun i config ->
+      Printf.printf "  #%d: transitions {%s}\n" (i + 1)
+        (String.concat ", " (Canon.config_transitions config)))
+    r.Diagnoser.diagnosis;
+
+  (* 5. The same sequence up to asynchronous interleaving explains the same
+        configurations; an impossible per-peer order explains nothing. *)
+  let shuffled = Petri.Alarm.make [ ("b", "p1"); ("c", "p1"); ("a", "p2") ] in
+  let impossible = Petri.Alarm.make [ ("c", "p1"); ("b", "p1"); ("a", "p2") ] in
+  let r2 = Diagnoser.diagnose net shuffled in
+  let r3 = Diagnoser.diagnose net impossible in
+  Printf.printf "\nEquivalent interleaving: same diagnosis? %b\n"
+    (Canon.equal_diagnosis r.Diagnoser.diagnosis r2.Diagnoser.diagnosis);
+  Printf.printf "(c,p1) before (b,p1): explanations = %d (expected 0)\n"
+    (List.length r3.Diagnoser.diagnosis);
+
+  (* 6. Theorem 4 in action: QSQ materializes exactly the events that the
+        dedicated diagnosis algorithm of [8] constructs. *)
+  let prod = Product.diagnose net alarms in
+  Printf.printf "\nMaterialized events — QSQ: %d, dedicated algorithm [8]: %d, equal: %b\n"
+    (Datalog.Term.Set.cardinal r.Diagnoser.events_materialized)
+    (Datalog.Term.Set.cardinal prod.Product.events_materialized)
+    (Datalog.Term.Set.equal r.Diagnoser.events_materialized
+       prod.Product.events_materialized)

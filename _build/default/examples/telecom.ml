@@ -1,0 +1,87 @@
+(* Telecom scenario: distributed diagnosis over an asynchronous network.
+
+   The introduction's motivating application: "a telecommunication network
+   consists of a large number of peers... each peer runs some application
+   that may fail in various occasions and that issues, depending on its
+   state, alarm signals." Here a ring of peers propagates faults to
+   neighbours; the supervisor receives the alarms through asynchronous
+   channels and must reconstruct what happened.
+
+   The diagnosis itself runs DISTRIBUTED: each peer holds the dDatalog rules
+   describing its own unfolding, and the supervisor's query is evaluated
+   with dQSQ — rewriting requests and fact streams flowing over a simulated
+   asynchronous network.
+
+   Run with:  dune exec examples/telecom.exe *)
+
+open Diagnosis
+
+let () =
+  let rng = Random.State.make [| 2025 |] in
+
+  (* A ring of four peers; each can fail (alarm "fault"), propagate the
+     fault to its successor ("warn"), and be repaired ("clear"). *)
+  let net = Petri.Examples.ring ~peers:4 () in
+  Printf.printf "Ring network: %d peers, %d places, %d transitions\n"
+    (List.length (Petri.Net.peers net))
+    (Petri.Net.num_places net) (Petri.Net.num_transitions net);
+
+  (* Something happens in the field: a real execution of the system. *)
+  let firing = Petri.Exec.random_execution ~rng ~steps:4 net in
+  Printf.printf "Ground truth (what actually fired): %s\n" (String.concat ", " firing);
+
+  (* The alarms reach the supervisor through asynchronous channels: per-peer
+     order is preserved, cross-peer order is lost. *)
+  let emitted = Petri.Exec.alarms_of_execution net firing in
+  let observed = Petri.Alarm.make (Petri.Exec.async_shuffle ~rng emitted) in
+  Printf.printf "Supervisor observes:                %s\n\n" (Petri.Alarm.to_string observed);
+
+  (* Distributed diagnosis with dQSQ. The peers also detect the global
+     fixpoint themselves, via Dijkstra-Scholten termination detection — no
+     omniscient observer. *)
+  let net = Petri.Net.binarize net in
+  let r =
+    Diagnoser.diagnose
+      ~engine:(Diagnoser.Distributed_ds { seed = 7; policy = Network.Sim.Random_interleaving })
+      net observed
+  in
+  Printf.printf "Diagnosis: %d possible explanation(s)\n" (List.length r.Diagnoser.diagnosis);
+  List.iteri
+    (fun i config ->
+      Printf.printf "  #%d: {%s}\n" (i + 1)
+        (String.concat ", " (Canon.config_transitions config)))
+    r.Diagnoser.diagnosis;
+  let truth =
+    List.sort String.compare firing
+  in
+  let found_truth =
+    List.exists
+      (fun c -> Canon.config_transitions c = truth)
+      r.Diagnoser.diagnosis
+  in
+  Printf.printf "Ground truth among the explanations: %b\n\n" found_truth;
+
+  (match r.Diagnoser.comm with
+  | Some c ->
+    Printf.printf "Communication (simulated asynchronous network):\n";
+    Printf.printf "  deliveries:     %d\n" c.Diagnoser.deliveries;
+    Printf.printf "  fact messages:  %d\n" c.Diagnoser.fact_messages;
+    Printf.printf "  delegations:    %d   (rule remainders shipped between peers)\n"
+      c.Diagnoser.delegations;
+    Printf.printf "  subscriptions:  %d\n" c.Diagnoser.subscriptions;
+    Printf.printf "  bytes (approx): %d   (incl. the termination detector's acks)\n"
+      c.Diagnoser.bytes
+  | None -> ());
+
+  (* Compare against materializing the full unfolding up to the same depth:
+     goal-directed evaluation touches a fraction of it. *)
+  let n = Petri.Alarm.length observed in
+  let full_events, full_conds, _ =
+    Diagnoser.full_unfolding_materialization ~depth:((2 * n) + 2) net
+  in
+  Printf.printf "\nMaterialization: dQSQ touched %d events / %d conditions;\n"
+    (Datalog.Term.Set.cardinal r.Diagnoser.events_materialized)
+    (Datalog.Term.Set.cardinal r.Diagnoser.conds_materialized);
+  Printf.printf "the full unfolding at that depth has %d events / %d conditions.\n"
+    (Datalog.Term.Set.cardinal full_events)
+    (Datalog.Term.Set.cardinal full_conds)

@@ -1,0 +1,1 @@
+lib/core/datom.ml: Atom Datalog Format List Printf String Subst Symbol Term

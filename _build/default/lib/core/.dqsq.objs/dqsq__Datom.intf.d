@@ -1,0 +1,1 @@
+lib/core/datom.mli: Atom Datalog Format Subst Symbol Term

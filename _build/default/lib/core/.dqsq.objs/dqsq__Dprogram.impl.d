@@ -1,0 +1,1 @@
+lib/core/dprogram.ml: Datalog Datom Drule Format List Parser Printf Program String

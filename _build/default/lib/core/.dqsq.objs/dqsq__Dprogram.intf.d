@@ -1,0 +1,1 @@
+lib/core/dprogram.mli: Datalog Drule Format Program

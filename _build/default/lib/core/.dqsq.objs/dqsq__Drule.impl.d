@@ -1,0 +1,1 @@
+lib/core/drule.ml: Datalog Datom Format List Rule String Term

@@ -1,0 +1,1 @@
+lib/core/drule.mli: Datalog Datom Format Rule Term

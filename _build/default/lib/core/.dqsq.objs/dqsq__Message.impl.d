@@ -1,0 +1,1 @@
+lib/core/message.ml: Atom Datalog Datom Drule List Printf Symbol Term

@@ -1,0 +1,1 @@
+lib/core/message.mli: Atom Datalog Datom Drule Symbol Term

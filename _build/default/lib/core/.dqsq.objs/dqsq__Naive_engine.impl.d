@@ -1,0 +1,1 @@
+lib/core/naive_engine.ml: Atom Datalog Datom Dprogram Drule Eval Fact_store Hashtbl List Message Network Option Runtime String Subst

@@ -1,0 +1,1 @@
+lib/core/naive_engine.mli: Atom Datalog Datom Dprogram Eval Fact_store Network

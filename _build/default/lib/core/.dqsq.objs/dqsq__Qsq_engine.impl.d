@@ -1,0 +1,1 @@
+lib/core/qsq_engine.ml: Adornment Array Atom Buffer Datalog Datom Dprogram Drule Eval Fact_store Hashtbl List Message Network Option Printf Rule Runtime String Subst Symbol Term

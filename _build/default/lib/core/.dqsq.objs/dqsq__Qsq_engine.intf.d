@@ -1,0 +1,1 @@
+lib/core/qsq_engine.mli: Atom Datalog Datom Dprogram Eval Fact_store Network

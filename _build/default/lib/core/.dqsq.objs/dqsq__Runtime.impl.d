@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Atom Datalog Eval Fact_store Hashtbl List Program Rule Symbol

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Atom Datalog Eval Fact_store Hashtbl Rule Symbol

@@ -1,0 +1,57 @@
+(** Messages exchanged by peers during distributed evaluation.
+
+    dQSQ interleaves two flows over the same asynchronous network (Remark 2:
+    "the dQSQ computation, and the generation of results, may start even
+    before the rewriting is complete"):
+    - rewriting-phase messages: {!Delegate} carries the remainder of a rule
+      to the peer owning the next relation (the paper's rule (†));
+    - evaluation-phase messages: {!Subscribe} asks the owner of a relation to
+      push its tuples, and {!Fact} carries one tuple.
+    Distributed naive evaluation uses {!Activate} instead of delegations. *)
+
+open Datalog
+
+type delegation = {
+  d_key : string;  (** dedup key: origin rule + position; "if a peer receives
+      the same request from different peers, it reuses the same machinery" *)
+  d_origin_rel : string;  (** relation of the rule being rewritten *)
+  d_origin_ad : string;  (** its adornment string *)
+  d_rule_index : int;  (** index of the rule among the origin's rules *)
+  d_pos : int;  (** next supplementary position *)
+  d_lit_index : int;  (** index of the next literal in the original body *)
+  d_prev_sup : Atom.t;  (** sup_{i,j-1} over its mangled symbol *)
+  d_prev_owner : string;  (** peer holding [d_prev_sup] *)
+  d_remaining : Drule.literal list;  (** literals still to process *)
+  d_pending : (Term.t * Term.t) list;  (** disequalities not yet ground *)
+  d_bound : string list;  (** variables bound so far *)
+  d_head : Datom.t;  (** original rule head (unadorned, located) *)
+}
+
+type t =
+  | Activate of string  (** relation name to compute (distributed naive) *)
+  | Subscribe of Symbol.t  (** mangled relation whose tuples the sender wants *)
+  | Fact of Atom.t  (** one tuple, over its mangled relation symbol *)
+  | Delegate of delegation
+
+let lit_size = function
+  | Drule.Pos a -> 2 + List.fold_left (fun acc t -> acc + Term.size t) 0 a.Datom.args
+  | Drule.Neq (x, y) -> Term.size x + Term.size y
+
+(** Abstract size (number of symbols), used for byte accounting. *)
+let size = function
+  | Activate _ -> 1
+  | Subscribe _ -> 1
+  | Fact a -> 1 + List.fold_left (fun acc t -> acc + Term.size t) 0 a.Atom.args
+  | Delegate d ->
+    3
+    + List.fold_left (fun acc t -> acc + Term.size t) 0 d.d_prev_sup.Atom.args
+    + List.fold_left (fun acc l -> acc + lit_size l) 0 d.d_remaining
+
+let describe = function
+  | Activate r -> Printf.sprintf "activate %s" r
+  | Subscribe s -> Printf.sprintf "subscribe %s" (Symbol.name s)
+  | Fact a -> Printf.sprintf "fact %s" (Atom.to_string a)
+  | Delegate d -> Printf.sprintf "delegate %s" d.d_key
+
+let is_fact = function Fact _ -> true | Activate _ | Subscribe _ | Delegate _ -> false
+let is_control = function Fact _ -> false | Activate _ | Subscribe _ | Delegate _ -> true

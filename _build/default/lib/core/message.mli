@@ -1,0 +1,36 @@
+(** Messages exchanged by peers during distributed evaluation.
+
+    dQSQ interleaves rewriting-phase messages ({!Delegate}, the paper's rule
+    remainder (†)) and evaluation-phase messages ({!Subscribe}, {!Fact})
+    over one asynchronous network (Remark 2). Distributed naive evaluation
+    uses {!Activate}. *)
+
+open Datalog
+
+type delegation = {
+  d_key : string;  (** dedup key — repeated requests reuse the machinery *)
+  d_origin_rel : string;  (** located name of the relation being rewritten *)
+  d_origin_ad : string;
+  d_rule_index : int;
+  d_pos : int;  (** next supplementary position *)
+  d_lit_index : int;  (** next literal in the original body *)
+  d_prev_sup : Atom.t;  (** [sup_{i,j-1}] over its mangled symbol *)
+  d_prev_owner : string;
+  d_remaining : Drule.literal list;
+  d_pending : (Term.t * Term.t) list;  (** disequalities not yet ground *)
+  d_bound : string list;
+  d_head : Datom.t;  (** the original rule head *)
+}
+
+type t =
+  | Activate of string
+  | Subscribe of Symbol.t
+  | Fact of Atom.t
+  | Delegate of delegation
+
+val size : t -> int
+(** Abstract size (symbol count), for byte accounting. *)
+
+val describe : t -> string
+val is_fact : t -> bool
+val is_control : t -> bool

@@ -1,0 +1,45 @@
+(** Distributed naive evaluation of dDatalog (Section 3.2).
+
+    Activation flows top-down (activating a relation activates its rules,
+    which activate and subscribe to the relations in their bodies); tuples
+    then stream until no peer can derive anything new. No binding
+    information is propagated: entire relations are computed and shipped —
+    the baseline dQSQ improves on. *)
+
+open Datalog
+
+type t
+
+val create :
+  ?seed:int ->
+  ?policy:Network.Sim.policy ->
+  ?eval_options:Eval.options ->
+  Dprogram.t ->
+  edb:Datom.t list ->
+  query:Datom.t ->
+  t
+(** One simulated peer per dDatalog peer; EDB facts preloaded into their
+    owners' stores. *)
+
+type outcome = {
+  answers : Atom.t list;  (** instantiations of the query's mangled atom *)
+  deliveries : int;
+  net_stats : Network.Sim.stats;
+  total_facts : int;  (** over all peer stores, replicas included *)
+  facts_per_peer : (string * int) list;
+}
+
+val run : ?max_steps:int -> t -> query:Datom.t -> outcome
+(** Pose the query and run the network to quiescence. *)
+
+val solve :
+  ?seed:int ->
+  ?policy:Network.Sim.policy ->
+  ?eval_options:Eval.options ->
+  ?max_steps:int ->
+  Dprogram.t ->
+  edb:Datom.t list ->
+  query:Datom.t ->
+  outcome
+
+val peer_store : t -> string -> Fact_store.t

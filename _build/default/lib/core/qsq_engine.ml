@@ -1,0 +1,512 @@
+(** dQSQ: the distributed Query-Sub-Query protocol (Sections 3.2 and 4.3).
+
+    Processing starts at the peer where the query is posed. Each peer
+    rewrites its own rules exactly as centralized QSQ would ("the rewriting
+    is performed locally at each peer without any global knowledge"); when
+    the left-to-right walk meets a relation owned by another peer, the peer
+    "delegates the processing of the remainder of the rule (from the remote
+    relation name to the right end of the rule) to the remote peer in charge
+    of that relation" — message (†). The remote peer continues the walk: it
+    installs the supplementary rules that join the delegated bindings with
+    its own relation, subscribing to the supplementary relation left behind
+    at the sender. Rewriting-phase and evaluation-phase messages share one
+    asynchronous network, so results may start flowing before the rewriting
+    is complete (Remark 2).
+
+    The generated relation names deliberately match the centralized
+    {!Datalog.Qsq} rewriting up to the peer suffix: stripping ["@peer"]
+    realizes the surjection zeta of Theorem 1, which the test suite checks
+    as a set equality of facts. *)
+
+open Datalog
+module Sim = Network.Sim
+module Ds = Network.Termination
+module Var_set = Adornment.Var_set
+
+(* Variables of a list of terms, in order of first occurrence (shared with
+   the centralized rewriting — must stay aligned for Theorem 1). *)
+let terms_vars terms =
+  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
+  List.fold_left (Term.vars_fold add) [] terms
+
+type peer_state = {
+  rt : Runtime.t;
+  my_rules : (string, Drule.t list) Hashtbl.t;  (** local rules by head relation *)
+  demanded : (string * string, unit) Hashtbl.t;  (** (relation, adornment) *)
+  delegations_seen : (string, unit) Hashtbl.t;
+  subscriptions_sent : (string * Symbol.t, unit) Hashtbl.t;  (** (owner, rel) *)
+}
+
+type t = {
+  program : Dprogram.t;
+  sim : Message.t Ds.wrapped Sim.t;
+  states : (string, peer_state) Hashtbl.t;
+  query : Datom.t;
+  query_peer : string;
+  detector : Message.t Ds.t option;
+      (* Dijkstra-Scholten termination detection, when requested *)
+  mutable delegations : int;
+  mutable subscriptions : int;
+  mutable fact_messages : int;
+}
+
+let state t p = Hashtbl.find t.states p
+
+(* All protocol messages go through here: either plain (the simulator's
+   quiescence is the fixpoint signal) or tracked by the Dijkstra-Scholten
+   detector (the supervisor learns the fixpoint from the protocol itself). *)
+let send t ~src ~dst m =
+  match t.detector with
+  | None -> Sim.send t.sim ~src ~dst (Ds.Work m)
+  | Some det -> Ds.send_work det t.sim ~src ~dst m
+
+let forward t ~src outputs =
+  List.iter
+    (fun (fact, subs) ->
+      List.iter
+        (fun dst ->
+          t.fact_messages <- t.fact_messages + 1;
+          send t ~src ~dst (Message.Fact fact))
+        subs)
+    outputs
+
+(* Located relation symbols for the generated predicates: the base name is
+   computed on the unmangled relation (matching centralized QSQ), then
+   located at its owner peer. *)
+let adorned_at ~rel ~ad ~peer =
+  Datom.mangle_rel ~rel:(Symbol.name (Adornment.adorned_sym (Symbol.intern rel) ad)) ~peer
+
+let input_at ~rel ~ad ~peer =
+  Datom.mangle_rel ~rel:(Symbol.name (Adornment.input_sym (Symbol.intern rel) ad)) ~peer
+
+let sup_at ~rel ~ad ~rule_index ~pos ~peer =
+  Datom.mangle_rel
+    ~rel:(Symbol.name (Adornment.sup_sym (Symbol.intern rel) ad ~rule_index ~pos))
+    ~peer
+
+let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.Var x) vars)
+
+let fresh_counter = ref 0
+
+(* Ensure [p] receives the tuples of [rel_sym] owned by [owner]. *)
+let ensure_subscription t p ~owner ~rel_sym =
+  if not (String.equal owner p) then begin
+    let st = state t p in
+    if not (Hashtbl.mem st.subscriptions_sent (owner, rel_sym)) then begin
+      Hashtbl.add st.subscriptions_sent (owner, rel_sym) ();
+      t.subscriptions <- t.subscriptions + 1;
+      send t ~src:p ~dst:owner (Message.Subscribe rel_sym)
+    end
+  end
+
+let install_and_eval t p rules =
+  let st = state t p in
+  let fresh = List.filter (fun r -> Runtime.install st.rt r) rules in
+  if fresh <> [] then forward t ~src:p (Runtime.evaluate st.rt)
+
+(* ------------------------------------------------------------------ *)
+(* The distributed rewriting walk                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Continue the left-to-right rewriting of one rule at peer [p]. The state
+   mirrors the centralized walk in {!Qsq.rewrite}; [d] carries it across
+   peers. Invariant: every positive literal is processed at the peer that
+   owns its relation. *)
+let rec walk t p (d : Message.delegation) =
+  let rules_to_install = ref [] in
+  let emit r = rules_to_install := !rules_to_install @ [ r ] in
+  let head = d.Message.d_head in
+  let head_vars = Datom.vars head in
+  let rec go pos lit_index bound (prev_sup : Atom.t) prev_owner pending lits =
+    let needed_from remaining =
+      Var_set.of_list (head_vars @ List.concat_map Drule.literal_vars remaining)
+    in
+    let attrs bound remaining =
+      let need = needed_from remaining in
+      List.filter (fun x -> Var_set.mem x need) (Var_set.elements bound)
+    in
+    match lits with
+    | [] ->
+      (* Install the answer rule at the head's peer. *)
+      let finish = { d with Message.d_key = answer_key d; d_pos = pos; d_lit_index = lit_index;
+                     d_prev_sup = prev_sup; d_prev_owner = prev_owner;
+                     d_remaining = []; d_pending = pending;
+                     d_bound = Var_set.elements bound }
+      in
+      if String.equal head.Datom.peer p then install_answer t p finish
+      else begin
+        t.delegations <- t.delegations + 1;
+        send t ~src:p ~dst:head.Datom.peer (Message.Delegate finish)
+      end
+    | Drule.Neq (x, y) :: rest -> go pos (lit_index + 1) bound prev_sup prev_owner (pending @ [ (x, y) ]) rest
+    | Drule.Pos a :: _rest when not (String.equal a.Datom.peer p) ->
+      (* Remote relation: delegate the remainder — rule (†). *)
+      let d' =
+        { d with
+          Message.d_key = Printf.sprintf "%s^%s/%d@%d" d.Message.d_origin_rel d.Message.d_origin_ad
+              d.Message.d_rule_index lit_index;
+          d_pos = pos; d_lit_index = lit_index;
+          d_prev_sup = prev_sup; d_prev_owner = prev_owner;
+          d_remaining = lits; d_pending = pending;
+          d_bound = Var_set.elements bound }
+      in
+      t.delegations <- t.delegations + 1;
+      send t ~src:p ~dst:a.Datom.peer (Message.Delegate d')
+    | Drule.Pos a :: rest ->
+      (* Local relation: one centralized-QSQ step. *)
+      let pre_ground, pending =
+        List.partition
+          (fun (x, y) ->
+            List.for_all (fun v -> Var_set.mem v bound) (Term.vars x @ Term.vars y))
+          pending
+      in
+      let pre_neqs = List.map (fun (x, y) -> Rule.Neq (x, y)) pre_ground in
+      let local_atom = Atom.cmake (Datom.mangled_sym a) a.Datom.args in
+      let a_ad = Adornment.of_atom bound local_atom in
+      let st = state t p in
+      let body_atom =
+        if Hashtbl.mem st.my_rules a.Datom.rel then begin
+          (* IDB here: demand in-S^ad and recursively rewrite S's rules. *)
+          let in_s =
+            Atom.cmake (input_at ~rel:a.Datom.rel ~ad:a_ad ~peer:p)
+              (Adornment.bound_args a_ad a.Datom.args)
+          in
+          emit (Rule.make in_s (Rule.Pos prev_sup :: pre_neqs));
+          demand t p ~rel:a.Datom.rel ~ad:a_ad;
+          Atom.cmake (adorned_at ~rel:a.Datom.rel ~ad:a_ad ~peer:p) a.Datom.args
+        end
+        else local_atom
+      in
+      let bound' = Var_set.union bound (Var_set.of_list (Datom.vars a)) in
+      let post_ground, pending =
+        List.partition
+          (fun (x, y) ->
+            List.for_all (fun v -> Var_set.mem v bound') (Term.vars x @ Term.vars y))
+          pending
+      in
+      let post_neqs = List.map (fun (x, y) -> Rule.Neq (x, y)) post_ground in
+      let sup_j =
+        var_atom
+          (sup_at ~rel:d.Message.d_origin_rel
+             ~ad:(ad_of_string d.Message.d_origin_ad)
+             ~rule_index:d.Message.d_rule_index ~pos:(pos + 1) ~peer:p)
+          (attrs bound' rest)
+      in
+      emit
+        (Rule.make sup_j ((Rule.Pos prev_sup :: pre_neqs) @ (Rule.Pos body_atom :: post_neqs)));
+      go (pos + 1) (lit_index + 1) bound' sup_j p pending rest
+  in
+  (* The walk consumes facts of the previous supplementary relation; make
+     sure they reach this peer. *)
+  ensure_subscription t p ~owner:d.Message.d_prev_owner ~rel_sym:d.Message.d_prev_sup.Atom.rel;
+  go d.Message.d_pos d.Message.d_lit_index
+    (Var_set.of_list d.Message.d_bound)
+    d.Message.d_prev_sup d.Message.d_prev_owner d.Message.d_pending d.Message.d_remaining;
+  install_and_eval t p !rules_to_install
+
+and answer_key d =
+  Printf.sprintf "%s^%s/%d@answer" d.Message.d_origin_rel d.Message.d_origin_ad
+    d.Message.d_rule_index
+
+and ad_of_string s = Array.init (String.length s) (fun i -> s.[i] = 'b')
+
+and install_answer t p (d : Message.delegation) =
+  let st = state t p in
+  if not (Hashtbl.mem st.delegations_seen d.Message.d_key) then begin
+    Hashtbl.add st.delegations_seen d.Message.d_key ();
+    ensure_subscription t p ~owner:d.Message.d_prev_owner ~rel_sym:d.Message.d_prev_sup.Atom.rel;
+    let head = d.Message.d_head in
+    let ad = ad_of_string d.Message.d_origin_ad in
+    let answer =
+      Atom.cmake (adorned_at ~rel:head.Datom.rel ~ad ~peer:p) head.Datom.args
+    in
+    let extra = List.map (fun (x, y) -> Rule.Neq (x, y)) d.Message.d_pending in
+    install_and_eval t p [ Rule.make answer (Rule.Pos d.Message.d_prev_sup :: extra) ]
+  end
+
+(* Demand the adorned relation (rel, ad) at peer p: rewrite each local rule
+   defining rel, in order — exactly the centralized per-relation step. *)
+and demand t p ~rel ~ad =
+  let st = state t p in
+  let key = (rel, Adornment.to_string ad) in
+  if not (Hashtbl.mem st.demanded key) then begin
+    Hashtbl.add st.demanded key ();
+    (* Bridge rule for extensionally stored facts of this relation (aligned
+       with the centralized rewriting). *)
+    let xs = List.init (Array.length ad) (fun k -> Printf.sprintf "X%d" k) in
+    let bridge =
+      Rule.make
+        (var_atom (adorned_at ~rel ~ad ~peer:p) xs)
+        [ Rule.Pos
+            (Atom.cmake (input_at ~rel ~ad ~peer:p)
+               (Adornment.bound_args ad (List.map (fun x -> Term.Var x) xs)));
+          Rule.Pos (var_atom (Datom.mangle_rel ~rel ~peer:p) xs) ]
+    in
+    install_and_eval t p [ bridge ];
+    let rules = Option.value ~default:[] (Hashtbl.find_opt st.my_rules rel) in
+    List.iteri
+      (fun i r0 ->
+        (* Freshen the rule's variables with a uniform "~n" suffix. The
+           suffix format matches {!Rule.freshen} so that the lexicographic
+           order of attribute names — and hence the column order of the
+           supplementary relations — agrees with the centralized rewriting
+           (Theorem 1 is checked as exact fact equality). *)
+        incr fresh_counter;
+        let suffix = Printf.sprintf "~%d" !fresh_counter in
+        let s =
+          Subst.of_list
+            (List.map (fun x -> (x, Term.Var (x ^ suffix))) (Drule.vars r0))
+        in
+        let rename_datom (a : Datom.t) =
+          { a with Datom.args = List.map (Subst.apply s) a.Datom.args }
+        in
+        let head = rename_datom r0.Drule.head in
+        let body =
+          List.map
+            (function
+              | Drule.Pos a -> Drule.Pos (rename_datom a)
+              | Drule.Neq (x, y) -> Drule.Neq (Subst.apply s x, Subst.apply s y))
+            r0.Drule.body
+        in
+        let bound_head_terms = Adornment.bound_args ad head.Datom.args in
+        let bound0 = Var_set.of_list (terms_vars bound_head_terms) in
+        let head_vars = Datom.vars head in
+        let attrs0 =
+          let need =
+            Var_set.of_list (head_vars @ List.concat_map Drule.literal_vars body)
+          in
+          List.filter (fun x -> Var_set.mem x need) (Var_set.elements bound0)
+        in
+        let sup0 =
+          var_atom
+            (sup_at ~rel:(Printf.sprintf "%s@%s" rel p) ~ad ~rule_index:i ~pos:0 ~peer:p)
+            attrs0
+        in
+        let in_atom = Atom.cmake (input_at ~rel ~ad ~peer:p) bound_head_terms in
+        install_and_eval t p [ Rule.make sup0 [ Rule.Pos in_atom ] ];
+        let d : Message.delegation =
+          {
+            (* the located origin name keeps the supplementary relations of
+               same-named relations at different peers apart *)
+            Message.d_key = Printf.sprintf "%s@%s^%s/%d@start" rel p (Adornment.to_string ad) i;
+            d_origin_rel = Printf.sprintf "%s@%s" rel p;
+            d_origin_ad = Adornment.to_string ad;
+            d_rule_index = i;
+            d_pos = 0;
+            d_lit_index = 0;
+            d_prev_sup = sup0;
+            d_prev_owner = p;
+            d_remaining = body;
+            d_pending = [];
+            d_bound = Var_set.elements bound0;
+            d_head = head;
+          }
+        in
+        walk t p d)
+      rules
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message handling and the public API                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec handle t p ~src msg =
+  let st = state t p in
+  match msg with
+  | Message.Subscribe rel ->
+    let snapshot = Runtime.subscribe st.rt rel ~dst:src in
+    List.iter
+      (fun fact ->
+        t.fact_messages <- t.fact_messages + 1;
+        send t ~src:p ~dst:src (Message.Fact fact))
+      snapshot
+  | Message.Fact fact ->
+    if Runtime.add_fact st.rt fact then
+      forward t ~src:p (Runtime.evaluate ~delta:[ fact ] st.rt)
+  | Message.Delegate d ->
+    if d.Message.d_remaining = [] then install_answer t p d
+    else if not (Hashtbl.mem st.delegations_seen d.Message.d_key) then begin
+      Hashtbl.add st.delegations_seen d.Message.d_key ();
+      walk t p d
+    end
+  | Message.Activate _ ->
+    (* the supervisor's root injected the query (Dijkstra-Scholten mode) *)
+    start_query t
+
+(* Seed the input relation of the query and start the local rewriting at
+   the supervisor's peer. *)
+and start_query t =
+  let query = t.query in
+  let p0 = t.query_peer in
+  let q_local = Datom.to_local_atom query in
+  let ad = Adornment.of_query q_local in
+  let st = state t p0 in
+  let seed_fact =
+    Atom.cmake (input_at ~rel:query.Datom.rel ~ad ~peer:p0)
+      (Adornment.bound_args ad query.Datom.args)
+  in
+  ignore (Runtime.add_fact st.rt seed_fact);
+  demand t p0 ~rel:query.Datom.rel ~ad;
+  forward t ~src:p0 (Runtime.evaluate st.rt)
+
+(** How the distributed fixpoint is detected: by the simulator's omniscient
+    quiescence test, or by the peers themselves running Dijkstra-Scholten
+    (the "standard termination detection algorithms" of Section 3.2) — the
+    latter doubles the message count with acknowledgements. *)
+type termination_mode =
+  | God_view
+  | Dijkstra_scholten
+
+let ds_root = "#root"
+
+let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
+    ?(eval_options = Eval.default_options) ?(termination = God_view)
+    (program : Dprogram.t) ~(edb : Datom.t list) ~(query : Datom.t) : t =
+  let size_of = function Ds.Work m -> Message.size m | Ds.Ack -> 1 in
+  let describe = function Ds.Work m -> Message.describe m | Ds.Ack -> "ack" in
+  let sim = Sim.create ~seed ~policy ~loss ~size_of ~describe () in
+  let peers =
+    List.sort_uniq String.compare
+      (Dprogram.peers program
+      @ List.map (fun (a : Datom.t) -> a.Datom.peer) edb
+      @ [ query.Datom.peer ])
+  in
+  let detector =
+    match termination with
+    | God_view -> None
+    | Dijkstra_scholten ->
+      if List.mem ds_root peers then invalid_arg "Qsq_engine: peer name #root is reserved";
+      Some (Ds.create ~root:ds_root ())
+  in
+  let states = Hashtbl.create 16 in
+  let t =
+    { program; sim; states; query; query_peer = query.Datom.peer; detector;
+      delegations = 0; subscriptions = 0; fact_messages = 0 }
+  in
+  List.iter
+    (fun p ->
+      let st =
+        { rt = Runtime.create ~eval_options p;
+          my_rules = Hashtbl.create 16;
+          demanded = Hashtbl.create 16;
+          delegations_seen = Hashtbl.create 16;
+          subscriptions_sent = Hashtbl.create 16 }
+      in
+      List.iter
+        (fun r ->
+          let rel = r.Drule.head.Datom.rel in
+          Hashtbl.replace st.my_rules rel
+            (Option.value ~default:[] (Hashtbl.find_opt st.my_rules rel) @ [ r ]))
+        (Dprogram.rules_at program p);
+      Hashtbl.add states p st;
+      match detector with
+      | None ->
+        Sim.add_peer sim p (fun _ ~src msg ->
+            match msg with
+            | Ds.Work m -> handle t p ~src m
+            | Ds.Ack -> ())
+      | Some det ->
+        Ds.add_peer det sim p ~handler:(fun ~send:_ ~src m -> handle t p ~src m))
+    peers;
+  (match detector with
+  | Some det -> Ds.add_root det sim ~handler:(fun ~send:_ ~src:_ _ -> ())
+  | None -> ());
+  List.iter
+    (fun (a : Datom.t) ->
+      ignore (Runtime.add_fact (state t a.Datom.peer).rt (Datom.to_atom a)))
+    edb;
+  t
+
+type outcome = {
+  answers : Atom.t list;
+  deliveries : int;
+  net_stats : Network.Sim.stats;
+  delegations : int;
+  subscriptions : int;
+  fact_messages : int;
+  total_facts : int;
+  facts_per_peer : (string * int) list;
+  clipped : int;  (** facts dropped by depth bounds, 0 on genuine fixpoints *)
+  ds_terminated : bool option;
+      (** Dijkstra-Scholten mode: did the detector announce termination?
+          [None] in god-view mode. *)
+}
+
+let run ?max_steps (t : t) ~(query : Datom.t) : outcome =
+  let p0 = t.query_peer in
+  let q_local = Datom.to_local_atom query in
+  let ad = Adornment.of_query q_local in
+  let st = state t p0 in
+  (match t.detector with
+  | None -> start_query t
+  | Some det ->
+    (* the diffusing computation starts with the root's query injection *)
+    Ds.start det t.sim ~dst:p0 (Message.Activate query.Datom.rel));
+  let deliveries = Network.Sim.run ?max_steps t.sim in
+  let answer_pattern =
+    Atom.cmake (adorned_at ~rel:query.Datom.rel ~ad ~peer:p0) query.Datom.args
+  in
+  let answers =
+    List.map
+      (fun s -> Atom.apply s (Datom.to_atom query))
+      (Fact_store.matches (Runtime.store st.rt) answer_pattern ~init:Subst.empty)
+  in
+  let facts_per_peer =
+    Hashtbl.fold (fun p st acc -> (p, Runtime.facts_count st.rt) :: acc) t.states []
+    |> List.sort compare
+  in
+  let clipped = Hashtbl.fold (fun _ st acc -> acc + st.rt.Runtime.clipped) t.states 0 in
+  {
+    answers;
+    deliveries;
+    net_stats = Network.Sim.stats t.sim;
+    delegations = t.delegations;
+    subscriptions = t.subscriptions;
+    fact_messages = t.fact_messages;
+    total_facts = List.fold_left (fun acc (_, n) -> acc + n) 0 facts_per_peer;
+    facts_per_peer;
+    clipped;
+    ds_terminated = Option.map Ds.is_terminated t.detector;
+  }
+
+let solve ?seed ?policy ?loss ?eval_options ?termination ?max_steps program ~edb ~query =
+  let t = create ?seed ?policy ?loss ?eval_options ?termination program ~edb ~query in
+  run ?max_steps t ~query
+
+let peer_store t p = Runtime.store (state t p).rt
+
+(** Union of all peer stores with every ["@peer"] segment stripped from the
+    relation names — the zeta mapping of Theorem 1, for comparison against
+    the centralized QSQ evaluation of the localized program. Generated names
+    may locate a peer twice (e.g. [sup1,2^R@r^bf@s]: origin relation [R@r],
+    stored at [s]); both are dropped. *)
+let zeta_facts (t : t) : string list =
+  let strip_name name =
+    let buf = Buffer.create (String.length name) in
+    let n = String.length name in
+    let rec go i =
+      if i < n then
+        if name.[i] = '@' then skip (i + 1)
+        else begin
+          Buffer.add_char buf name.[i];
+          go (i + 1)
+        end
+    and skip i =
+      if i < n then
+        match name.[i] with
+        | '^' | ',' ->
+          Buffer.add_char buf name.[i];
+          go (i + 1)
+        | _ -> skip (i + 1)
+    in
+    go 0;
+    Buffer.contents buf
+  in
+  let strip (a : Atom.t) =
+    Atom.to_string (Atom.make (strip_name (Symbol.name a.Atom.rel)) a.Atom.args)
+  in
+  Hashtbl.fold
+    (fun _ st acc ->
+      List.rev_append (List.map strip (Fact_store.all (Runtime.store st.rt))) acc)
+    t.states []
+  |> List.sort_uniq String.compare

@@ -1,0 +1,72 @@
+(** dQSQ: the distributed Query-Sub-Query protocol (Sections 3.2 and 4.3).
+
+    Each peer rewrites its own rules exactly as centralized QSQ would; on
+    meeting a remote relation, it delegates the remainder of the rule to
+    the owning peer (the paper's rule (†)), which installs the
+    supplementary machinery, subscribes to the bindings left behind, and
+    continues. Rewriting and evaluation messages share one asynchronous
+    network, so results may flow before the rewriting completes (Remark 2).
+    Generated relation names match the centralized {!Datalog.Qsq} rewriting
+    up to peer suffixes, realizing the zeta surjection of Theorem 1. *)
+
+open Datalog
+
+type t
+
+(** How the distributed fixpoint is detected: by the simulator's omniscient
+    quiescence test, or by the peers themselves running Dijkstra-Scholten
+    termination detection (the "standard termination detection algorithms"
+    the paper points at) — the latter roughly doubles the message count
+    with acknowledgements but needs no global observer. *)
+type termination_mode =
+  | God_view
+  | Dijkstra_scholten
+
+val create :
+  ?seed:int ->
+  ?policy:Network.Sim.policy ->
+  ?loss:float ->
+  ?eval_options:Eval.options ->
+  ?termination:termination_mode ->
+  Dprogram.t ->
+  edb:Datom.t list ->
+  query:Datom.t ->
+  t
+
+type outcome = {
+  answers : Atom.t list;
+  deliveries : int;
+  net_stats : Network.Sim.stats;
+  delegations : int;  (** rule remainders shipped between peers *)
+  subscriptions : int;
+  fact_messages : int;
+  total_facts : int;
+  facts_per_peer : (string * int) list;
+  clipped : int;  (** facts dropped by depth gadgets; 0 on true fixpoints *)
+  ds_terminated : bool option;
+      (** Dijkstra-Scholten mode: did the detector announce termination?
+          [None] in god-view mode. *)
+}
+
+val run : ?max_steps:int -> t -> query:Datom.t -> outcome
+(** Seed the query's input relation at its peer, start the local rewriting,
+    and run the network to quiescence. *)
+
+val solve :
+  ?seed:int ->
+  ?policy:Network.Sim.policy ->
+  ?loss:float ->
+  ?eval_options:Eval.options ->
+  ?termination:termination_mode ->
+  ?max_steps:int ->
+  Dprogram.t ->
+  edb:Datom.t list ->
+  query:Datom.t ->
+  outcome
+
+val peer_store : t -> string -> Fact_store.t
+
+val zeta_facts : t -> string list
+(** Union of all peer stores with every ["@peer"] segment stripped from the
+    relation names — the zeta mapping of Theorem 1, comparable to the
+    centralized QSQ evaluation of the localized program. Sorted, distinct. *)

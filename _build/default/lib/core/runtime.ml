@@ -1,0 +1,84 @@
+(** Per-peer runtime shared by the distributed engines.
+
+    Each peer owns a fact store over mangled located relations, a growing
+    set of installed (rewritten or original) rules, and a subscriber table.
+    Local evaluation reuses the centralized semi-naive engine: a peer is a
+    little deductive database of its own, exactly the paper's picture of
+    autonomous peers holding rules and data. *)
+
+open Datalog
+
+type t = {
+  peer : string;
+  store : Fact_store.t;
+  mutable rules : Rule.t list;  (** installed rules, newest last *)
+  installed : (string, unit) Hashtbl.t;  (** dedup of installed rules *)
+  subscribers : (Symbol.t, string list ref) Hashtbl.t;
+  mutable eval_options : Eval.options;
+  mutable derivations : int;  (** cumulative local rule firings *)
+  mutable clipped : int;  (** facts discarded by the depth bound *)
+}
+
+let create ?(eval_options = Eval.default_options) peer =
+  {
+    peer;
+    store = Fact_store.create ();
+    rules = [];
+    installed = Hashtbl.create 64;
+    subscribers = Hashtbl.create 16;
+    eval_options;
+    derivations = 0;
+    clipped = 0;
+  }
+
+(** Install a rule; returns [true] if it was new. *)
+let install t (r : Rule.t) : bool =
+  let key = Rule.to_string r in
+  if Hashtbl.mem t.installed key then false
+  else begin
+    Hashtbl.add t.installed key ();
+    t.rules <- t.rules @ [ r ];
+    true
+  end
+
+(** Record that [dst] wants the tuples of [rel]; returns the tuples to ship
+    immediately (the current extent). *)
+let subscribe t (rel : Symbol.t) ~dst : Atom.t list =
+  let subs =
+    match Hashtbl.find_opt t.subscribers rel with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add t.subscribers rel l;
+      l
+  in
+  if List.mem dst !subs then []
+  else begin
+    subs := dst :: !subs;
+    Fact_store.facts_of t.store rel
+  end
+
+let subscribers_of t rel =
+  match Hashtbl.find_opt t.subscribers rel with Some l -> !l | None -> []
+
+(** Add a fact received from the network (or seeded); [true] if new. *)
+let add_fact t (a : Atom.t) : bool = Fact_store.add t.store a
+
+(** Run local semi-naive evaluation. [delta], when given, restricts the
+    initial delta to the given freshly arrived facts. Returns the newly
+    derived facts paired with the peers subscribed to their relations at
+    derivation time. *)
+let evaluate ?delta t : (Atom.t * string list) list =
+  let out = ref [] in
+  let on_new a = out := (a, subscribers_of t a.Atom.rel) :: !out in
+  let result =
+    Eval.seminaive ~options:t.eval_options ?init_delta:delta ~on_new
+      (Program.make t.rules) t.store
+  in
+  t.derivations <- t.derivations + result.Eval.stats.Eval.derivations;
+  t.clipped <- t.clipped + result.Eval.stats.Eval.clipped;
+  List.rev !out
+
+let facts_count t = Fact_store.count t.store
+let store t = t.store
+let rules t = t.rules

@@ -1,0 +1,1 @@
+lib/datalog/adornment.ml: Array Atom Format List Printf Set String Symbol Term

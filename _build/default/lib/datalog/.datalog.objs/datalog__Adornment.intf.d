@@ -1,0 +1,1 @@
+lib/datalog/adornment.mli: Atom Format Set Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Atom Fact_store Hashtbl List Option Printf Program Rule Stdlib Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/eval.mli: Atom Fact_store Program Stdlib

@@ -1,0 +1,1 @@
+lib/datalog/fact_store.ml: Atom Hashtbl List Option Printf String Subst Symbol Term Unify

@@ -1,0 +1,1 @@
+lib/datalog/fact_store.mli: Atom Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Adornment Array Atom Eval Fact_store Hashtbl List Printf Program Queue Rule Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/magic.mli: Atom Eval Fact_store Program Rule

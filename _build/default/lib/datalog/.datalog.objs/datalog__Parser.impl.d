@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Format List Program Rule String Term

@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Atom Format List Rule Symbol

@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Atom Format Rule Symbol

@@ -1,0 +1,1 @@
+lib/datalog/qsq.ml: Adornment Array Atom Eval Fact_store Hashtbl List Printf Program Queue Rule String Subst Symbol Term

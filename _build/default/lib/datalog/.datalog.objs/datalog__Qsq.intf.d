@@ -1,0 +1,1 @@
+lib/datalog/qsq.mli: Adornment Atom Eval Fact_store Program Rule Symbol Term

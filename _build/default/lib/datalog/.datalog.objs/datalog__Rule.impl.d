@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Atom Format List Printf Result Subst Term

@@ -1,0 +1,1 @@
+lib/datalog/rule.mli: Atom Format Subst Term

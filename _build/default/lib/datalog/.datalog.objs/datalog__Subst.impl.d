@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Format List Map String Term

@@ -1,0 +1,1 @@
+lib/datalog/subst.mli: Format Term

@@ -1,0 +1,1 @@
+lib/datalog/symbol.ml: Array Format Hashtbl Printf Stdlib

@@ -1,0 +1,1 @@
+lib/datalog/unify.ml: List String Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/unify.mli: Subst Term

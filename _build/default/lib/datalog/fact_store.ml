@@ -1,0 +1,172 @@
+(** Mutable store of ground facts with lazy per-position indexing.
+
+    Facts are grouped by relation symbol. For each relation we keep the
+    insertion-ordered list of tuples plus a membership table. When a lookup
+    arrives with a ground term at position [i], an index (hash table from the
+    term at position [i] to the matching tuples) is built lazily for that
+    position and maintained on subsequent insertions. This keeps the common
+    joins of the diagnosis programs (which are bound on node-identity
+    arguments) close to O(1) per matching tuple. *)
+
+(* The generic [Hashtbl.hash] only samples a bounded prefix of a value; the
+   diagnosis programs generate tuples sharing deep Skolem-term spines
+   (configuration ids h(h(h(...)))), which would all collide and degrade
+   the tables to linear scans. Hash tuples with the full-depth term hash. *)
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Term.t list
+
+  let equal = List.equal Term.equal
+  let hash args = List.fold_left (fun acc t -> (acc * 65599) + Term.hash t) 3 args
+end)
+
+type rel_store = {
+  mutable tuples : Term.t list list; (* reverse insertion order *)
+  mutable n : int;
+  members : unit Tuple_tbl.t;
+  mutable indexes : (int list * Term.t list list Tuple_tbl.t) list;
+      (* compound indexes: a sorted position mask maps the projection of a
+         tuple onto those positions to the matching tuples *)
+}
+
+type t = {
+  rels : (Symbol.t, rel_store) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () = { rels = Hashtbl.create 64; total = 0 }
+
+let rel_store t rel =
+  match Hashtbl.find_opt t.rels rel with
+  | Some rs -> rs
+  | None ->
+    let rs = { tuples = []; n = 0; members = Tuple_tbl.create 64; indexes = [] } in
+    Hashtbl.add t.rels rel rs;
+    rs
+
+let mem t (a : Atom.t) =
+  match Hashtbl.find_opt t.rels a.Atom.rel with
+  | None -> false
+  | Some rs -> Tuple_tbl.mem rs.members a.Atom.args
+
+(** Add a ground atom; returns [true] iff the fact was not already present. *)
+let add t (a : Atom.t) =
+  if not (Atom.is_ground a) then
+    invalid_arg (Printf.sprintf "Fact_store.add: non-ground fact %s" (Atom.to_string a));
+  let rs = rel_store t a.Atom.rel in
+  if Tuple_tbl.mem rs.members a.Atom.args then false
+  else begin
+    Tuple_tbl.add rs.members a.Atom.args ();
+    rs.tuples <- a.Atom.args :: rs.tuples;
+    rs.n <- rs.n + 1;
+    List.iter
+      (fun (mask, idx) ->
+        let key = List.filteri (fun i _ -> List.mem i mask) a.Atom.args in
+        let prev = Option.value ~default:[] (Tuple_tbl.find_opt idx key) in
+        Tuple_tbl.replace idx key (a.Atom.args :: prev))
+      rs.indexes;
+    t.total <- t.total + 1;
+    true
+  end
+
+let count t = t.total
+
+let count_rel t rel =
+  match Hashtbl.find_opt t.rels rel with None -> 0 | Some rs -> rs.n
+
+let relations t =
+  Hashtbl.fold (fun rel rs acc -> if rs.n > 0 then rel :: acc else acc) t.rels []
+  |> List.sort Symbol.compare
+
+let tuples_of t rel =
+  match Hashtbl.find_opt t.rels rel with None -> [] | Some rs -> List.rev rs.tuples
+
+let facts_of t rel = List.map (fun args -> Atom.cmake rel args) (tuples_of t rel)
+
+let all t =
+  List.concat_map (fun rel -> facts_of t rel) (relations t)
+
+let ensure_index rs (mask : int list) =
+  match List.assoc_opt mask rs.indexes with
+  | Some idx -> idx
+  | None ->
+    let idx = Tuple_tbl.create (max 64 rs.n) in
+    List.iter
+      (fun args ->
+        let key = List.filteri (fun i _ -> List.mem i mask) args in
+        let prev = Option.value ~default:[] (Tuple_tbl.find_opt idx key) in
+        Tuple_tbl.replace idx key (args :: prev))
+      rs.tuples;
+    rs.indexes <- (mask, idx) :: rs.indexes;
+    idx
+
+(* The ground positions of the pattern under [s] (sorted ascending, with
+   their ground values): the compound index key covering every bound
+   argument, so a lookup returns only genuinely matching candidates. *)
+let ground_positions s (args : Term.t list) =
+  let rec go i = function
+    | [] -> ([], [])
+    | a :: rest ->
+      let mask, key = go (i + 1) rest in
+      let a = Subst.apply s a in
+      if Term.is_ground a then (i :: mask, a :: key) else (mask, key)
+  in
+  go 0 args
+
+(** [iter_matches t pattern ~init f] calls [f s] for every substitution [s]
+    extending [init] such that [Subst.apply s pattern] is a stored fact. *)
+let probe_count = ref 0
+let candidate_count = ref 0
+let full_scan_count = ref 0
+
+let iter_matches t (pattern : Atom.t) ~init f =
+  match Hashtbl.find_opt t.rels pattern.Atom.rel with
+  | None -> ()
+  | Some rs ->
+    incr probe_count;
+    let candidates =
+      match ground_positions init pattern.Atom.args with
+      | [], _ -> rs.tuples
+      | mask, key ->
+        let idx = ensure_index rs mask in
+        Option.value ~default:[] (Tuple_tbl.find_opt idx key)
+    in
+    candidate_count := !candidate_count + List.length candidates;
+    (match ground_positions init pattern.Atom.args with
+    | [], _ -> full_scan_count := !full_scan_count + List.length candidates
+    | _ -> ());
+    List.iter
+      (fun args ->
+        match Unify.match_lists ~init pattern.Atom.args args with
+        | Some s -> f s
+        | None -> ())
+      candidates
+
+let matches t pattern ~init =
+  let acc = ref [] in
+  iter_matches t pattern ~init (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+(** Iterate over matches restricted to an explicit list of candidate tuples
+    (used by the semi-naive engine to drive joins from a delta). *)
+let delta_scan_count = ref 0
+
+let iter_matches_in (pattern : Atom.t) tuples ~init f =
+  delta_scan_count := !delta_scan_count + List.length tuples;
+  List.iter
+    (fun args ->
+      match Unify.match_lists ~init pattern.Atom.args args with
+      | Some s -> f s
+      | None -> ())
+    tuples
+
+let copy t =
+  let t' = create () in
+  Hashtbl.iter
+    (fun rel rs ->
+      List.iter (fun args -> ignore (add t' (Atom.cmake rel args))) (List.rev rs.tuples))
+    t.rels;
+  t'
+
+(** Facts of [t] as a sorted list of strings; handy in tests for equality
+    modulo ordering. *)
+let to_sorted_strings t = List.sort String.compare (List.map Atom.to_string (all t))

@@ -1,0 +1,54 @@
+(** Mutable store of ground facts with lazy per-position indexing.
+
+    Facts are grouped by relation. A lookup with ground terms at some
+    argument positions builds (once) and then maintains a compound hash
+    index over exactly those positions, so a probe returns only genuinely
+    matching candidates — keeping the node-identity joins of the diagnosis
+    programs close to O(1) per matching tuple. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Atom.t -> bool
+(** Add a ground fact; [true] iff it was new.
+    @raise Invalid_argument on a non-ground atom. *)
+
+val mem : t -> Atom.t -> bool
+val count : t -> int
+val count_rel : t -> Symbol.t -> int
+
+val relations : t -> Symbol.t list
+(** Relations with at least one fact, sorted. *)
+
+val tuples_of : t -> Symbol.t -> Term.t list list
+(** Tuples of a relation in insertion order. *)
+
+val facts_of : t -> Symbol.t -> Atom.t list
+val all : t -> Atom.t list
+
+val iter_matches : t -> Atom.t -> init:Subst.t -> (Subst.t -> unit) -> unit
+(** [iter_matches t pattern ~init f] calls [f s] for every substitution [s]
+    extending [init] such that [apply s pattern] is a stored fact. *)
+
+val matches : t -> Atom.t -> init:Subst.t -> Subst.t list
+
+val iter_matches_in : Atom.t -> Term.t list list -> init:Subst.t -> (Subst.t -> unit) -> unit
+(** Like {!iter_matches} but against an explicit tuple list (the semi-naive
+    delta). *)
+
+val copy : t -> t
+
+val to_sorted_strings : t -> string list
+(** All facts, printed and sorted — for order-insensitive comparisons. *)
+
+(**/**)
+
+val probe_count : int ref
+val candidate_count : int ref
+val full_scan_count : int ref
+(** Instrumentation counters for profiling; not part of the stable API. *)
+
+(**/**)
+
+val delta_scan_count : int ref

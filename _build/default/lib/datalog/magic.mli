@@ -1,0 +1,25 @@
+(** Plain magic-sets rewriting (Bancilhon–Maier–Sagiv–Ullman [7]).
+
+    The classical alternative to QSQ: instead of chaining supplementary
+    relations, each magic rule re-joins the prefix of the body. Same
+    answers; different auxiliary facts and evaluation profile (bench E10). *)
+
+exception Negation_unsupported of Rule.t
+(** Raised when a rule contains a negated atom: the goal-directed
+    rewritings here are defined for positive programs only (Remark 4). *)
+
+type t = {
+  program : Program.t;
+  seed : Atom.t;
+  query : Atom.t;
+  answer_pattern : Atom.t;
+}
+
+val rewrite : Program.t -> Atom.t -> t
+
+val solve :
+  ?options:Eval.options ->
+  Program.t ->
+  Atom.t ->
+  Fact_store.t ->
+  Fact_store.t * Eval.result * Atom.t list

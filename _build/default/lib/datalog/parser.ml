@@ -1,0 +1,265 @@
+(** Parser for a textual (d)Datalog syntax.
+
+    Grammar (comments start with [%] and run to end of line):
+    {v
+      program  ::= clause*
+      clause   ::= atom "."  |  atom ":-" literals "."
+      literals ::= literal ("," literal)*
+      literal  ::= atom | term "!=" term
+      atom     ::= relname peer? ( "(" terms ")" )?
+      peer     ::= "@" ident
+      term     ::= VAR | ident | INT | STRING | ident "(" terms ")"
+    v}
+    Variables start with an uppercase letter or [_]; everything else
+    (identifiers, integers, quoted strings) is a constant, except an
+    identifier immediately followed by ["("] which is a function application.
+    Peers ([@p]) follow the paper's dDatalog syntax; the plain-Datalog
+    conversion rejects them while the dDatalog layer consumes them. *)
+
+type raw_atom = { rel : string; peer : string option; args : Term.t list }
+
+type raw_literal =
+  | Ratom of raw_atom
+  | Rneq of Term.t * Term.t
+  | Rneg of raw_atom  (** [not R(...)]; plain Datalog only (Remark 4) *)
+
+type raw_rule = { head : raw_atom; body : raw_literal list }
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------- lexer ---------- *)
+
+type token =
+  | IDENT of string
+  | VAR of string
+  | STRING of string
+  | LPAR
+  | RPAR
+  | COMMA
+  | DOT
+  | AT
+  | TURNSTILE
+  | NEQ
+  | EOF
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '-'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '%' ->
+        let rec skip j = if j < n && s.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      | '(' -> go (i + 1) (LPAR :: acc)
+      | ')' -> go (i + 1) (RPAR :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '.' -> go (i + 1) (DOT :: acc)
+      | '@' -> go (i + 1) (AT :: acc)
+      | ':' when i + 1 < n && s.[i + 1] = '-' -> go (i + 2) (TURNSTILE :: acc)
+      | '!' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (NEQ :: acc)
+      | '"' ->
+        let rec scan j =
+          if j >= n then fail "unterminated string literal"
+          else if s.[j] = '"' then j
+          else scan (j + 1)
+        in
+        let j = scan (i + 1) in
+        go (j + 1) (STRING (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when is_ident_char c ->
+        let rec scan j = if j < n && is_ident_char s.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub s i (j - i) in
+        let tok =
+          if c = '_' || (c >= 'A' && c <= 'Z') then VAR word else IDENT word
+        in
+        go j (tok :: acc)
+      | c -> fail "unexpected character %C at offset %d" c i
+  in
+  go 0 []
+
+(* ---------- parser ---------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st else fail "expected %s" what
+
+let rec parse_term st : Term.t =
+  match peek st with
+  | VAR x ->
+    advance st;
+    Term.Var x
+  | STRING s ->
+    advance st;
+    Term.const s
+  | IDENT f -> (
+    advance st;
+    match peek st with
+    | LPAR ->
+      advance st;
+      let args = parse_terms st in
+      expect st RPAR ")";
+      Term.app f args
+    | _ -> Term.const f)
+  | _ -> fail "expected a term"
+
+and parse_terms st : Term.t list =
+  let t = parse_term st in
+  match peek st with
+  | COMMA ->
+    advance st;
+    t :: parse_terms st
+  | _ -> [ t ]
+
+let parse_atom_from name st : raw_atom =
+  let peer =
+    match peek st with
+    | AT -> (
+      advance st;
+      match peek st with
+      | IDENT p | VAR p ->
+        advance st;
+        Some p
+      | _ -> fail "expected peer name after @")
+    | _ -> None
+  in
+  let args =
+    match peek st with
+    | LPAR ->
+      advance st;
+      let args = parse_terms st in
+      expect st RPAR ")";
+      args
+    | _ -> []
+  in
+  { rel = name; peer; args }
+
+let parse_literal st : raw_literal =
+  (* Either relname[@peer](args), [not atom], or term != term. An IDENT
+     followed by [@] or [(] or a bare IDENT not followed by [!=] is an
+     atom; [not] is reserved when followed by a relation name. *)
+  match peek st with
+  | IDENT "not" when (match st.toks with _ :: (IDENT _ | VAR _) :: _ -> true | _ -> false)
+    -> (
+    advance st;
+    match peek st with
+    | IDENT name | VAR name ->
+      advance st;
+      Rneg (parse_atom_from name st)
+    | _ -> fail "expected an atom after 'not'")
+  | IDENT name -> (
+    advance st;
+    match peek st with
+    | NEQ ->
+      advance st;
+      let rhs = parse_term st in
+      Rneq (Term.const name, rhs)
+    | AT | LPAR -> Ratom (parse_atom_from name st)
+    | _ -> Ratom { rel = name; peer = None; args = [] })
+  | VAR x -> (
+    advance st;
+    match peek st with
+    | NEQ ->
+      advance st;
+      let rhs = parse_term st in
+      Rneq (Term.Var x, rhs)
+    (* An uppercase word applied to arguments or located at a peer is a
+       relation name (the paper writes relations R, S, T...). *)
+    | AT | LPAR -> Ratom (parse_atom_from x st)
+    | _ -> fail "variable %s cannot head a literal" x)
+  | STRING s -> (
+    advance st;
+    match peek st with
+    | NEQ ->
+      advance st;
+      let rhs = parse_term st in
+      Rneq (Term.const s, rhs)
+    | _ -> fail "string %S cannot head a literal" s)
+  | _ -> fail "expected a literal"
+
+let rec parse_literals st : raw_literal list =
+  let l = parse_literal st in
+  match peek st with
+  | COMMA ->
+    advance st;
+    l :: parse_literals st
+  | _ -> [ l ]
+
+let parse_clause st : raw_rule =
+  match peek st with
+  | IDENT name | VAR name -> (
+    advance st;
+    let head = parse_atom_from name st in
+    match peek st with
+    | DOT ->
+      advance st;
+      { head; body = [] }
+    | TURNSTILE ->
+      advance st;
+      let body = parse_literals st in
+      expect st DOT ".";
+      { head; body }
+    | _ -> fail "expected '.' or ':-' after head atom")
+  | _ -> fail "expected a clause"
+
+let parse_raw (s : string) : raw_rule list =
+  let st = { toks = tokenize s } in
+  let rec go acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | _ -> go (parse_clause st :: acc)
+  in
+  go []
+
+(* ---------- conversion to plain Datalog ---------- *)
+
+let atom_of_raw (a : raw_atom) : Atom.t =
+  match a.peer with
+  | Some p -> fail "peer annotation @%s not allowed in plain Datalog" p
+  | None -> Atom.make a.rel a.args
+
+let rule_of_raw (r : raw_rule) : Rule.t =
+  let body =
+    List.map
+      (function
+        | Ratom a -> Rule.Pos (atom_of_raw a)
+        | Rneg a -> Rule.Neg (atom_of_raw a)
+        | Rneq (x, y) -> Rule.Neq (x, y))
+      r.body
+  in
+  Rule.make (atom_of_raw r.head) body
+
+(** Parse a plain-Datalog program (no peer annotations). *)
+let parse_program (s : string) : Program.t =
+  Program.make (List.map rule_of_raw (parse_raw s))
+
+(** Parse a single plain atom, e.g. a query. *)
+let parse_atom (s : string) : Atom.t =
+  let st = { toks = tokenize s } in
+  match peek st with
+  | IDENT name | VAR name ->
+    advance st;
+    let a = parse_atom_from name st in
+    (match peek st with DOT -> advance st | _ -> ());
+    if peek st <> EOF then fail "trailing input after atom";
+    atom_of_raw a
+  | _ -> fail "expected an atom"
+
+(** Parse a single rule. *)
+let parse_rule (s : string) : Rule.t =
+  match parse_raw s with
+  | [ r ] -> rule_of_raw r
+  | _ -> fail "expected exactly one rule"

@@ -1,0 +1,39 @@
+(** Parser for a textual (d)Datalog syntax.
+
+    {v
+      program  ::= clause*
+      clause   ::= atom "."  |  atom ":-" literals "."
+      literal  ::= atom | term "!=" term
+      atom     ::= relname peer? ( "(" terms ")" )?
+      peer     ::= "@" ident
+      term     ::= VAR | ident | STRING | ident "(" terms ")"
+    v}
+
+    Words starting with an uppercase letter or [_] are variables — except
+    when applied to arguments or located at a peer, where they are relation
+    names (the paper writes relations [R], [S], [T]). Comments start with
+    [%]. The raw forms keep peer annotations for the dDatalog layer; the
+    plain conversions reject them. *)
+
+type raw_atom = { rel : string; peer : string option; args : Term.t list }
+
+type raw_literal =
+  | Ratom of raw_atom
+  | Rneq of Term.t * Term.t
+  | Rneg of raw_atom  (** [not R(...)]; plain Datalog only (Remark 4) *)
+
+type raw_rule = { head : raw_atom; body : raw_literal list }
+
+exception Parse_error of string
+
+val parse_raw : string -> raw_rule list
+(** Parse, keeping peer annotations. *)
+
+val parse_program : string -> Program.t
+(** Parse a plain-Datalog program.
+    @raise Parse_error on syntax errors or peer annotations. *)
+
+val parse_atom : string -> Atom.t
+(** Parse a single plain atom, e.g. a query. *)
+
+val parse_rule : string -> Rule.t

@@ -1,0 +1,52 @@
+(** The Query-Sub-Query rewriting (Fig. 4 of the paper).
+
+    QSQ rewrites the program "based on the propagation of bindings":
+    supplementary relations [sup_{i,j}] accumulate the bindings relevant at
+    each body position and input relations [in-R^ad] accumulate subqueries.
+    Evaluating the rewritten program bottom-up computes exactly the query's
+    answers while materializing only binding-reachable facts. Generalized to
+    function terms in heads and bodies (subqueries connect to rules by
+    unification), which the diagnosis encoding relies on. *)
+
+exception Negation_unsupported of Rule.t
+(** Raised when a rule contains a negated atom: the goal-directed
+    rewritings here are defined for positive programs only (Remark 4). *)
+
+type t = {
+  program : Program.t;  (** the rewritten rules *)
+  seed : Atom.t;  (** the initial input fact [in-Q^ad(constants)] *)
+  query : Atom.t;
+  query_rel : Symbol.t;
+  query_ad : Adornment.t;
+  answer_pattern : Atom.t;  (** [Q^ad(query args)], to read answers back *)
+}
+
+val rewrite : Program.t -> Atom.t -> t
+(** Rewrite [program] for the given query atom. Only binding-reachable
+    adornments are generated; rule indices follow
+    {!Program.rules_for} order. *)
+
+type materialization = {
+  total : int;
+  answer_facts : int;
+  input_facts : int;
+  sup_facts : int;
+  answers_by_base : (string * int) list;
+      (** distinct original facts per base relation, adornments merged *)
+}
+
+val materialization : Fact_store.t -> materialization
+(** Report how much a rewritten-program evaluation materialized — the
+    quantity Theorem 4 compares against the dedicated algorithm. *)
+
+val materialized_tuples : Fact_store.t -> string -> Term.t list list
+(** Distinct tuples materialized for a base relation, across adornments. *)
+
+val solve :
+  ?options:Eval.options ->
+  Program.t ->
+  Atom.t ->
+  Fact_store.t ->
+  Fact_store.t * Eval.result * Atom.t list
+(** Rewrite, seed, evaluate semi-naive against a copy of the EDB, and read
+    the answers back as instantiations of the original query atom. *)

@@ -1,0 +1,40 @@
+(** Substitutions: finite maps from variable names to terms.
+
+    Substitutions are kept idempotent by [Unify]: bindings never map a
+    variable to a term containing a variable that is itself bound. [apply]
+    therefore only needs one pass. *)
+
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty : t = M.empty
+let is_empty = M.is_empty
+let find x (s : t) = M.find_opt x s
+let bind x t (s : t) = M.add x t s
+let bindings (s : t) = M.bindings s
+let of_list l = List.fold_left (fun acc (x, t) -> M.add x t acc) M.empty l
+let mem x (s : t) = M.mem x s
+let cardinal = M.cardinal
+
+let rec apply (s : t) (t : Term.t) : Term.t =
+  match t with
+  | Term.Const _ -> t
+  | Term.Var x -> (match M.find_opt x s with Some u -> apply s u | None -> t)
+  | Term.App (f, args) -> Term.App (f, List.map (apply s) args)
+
+(** [compose s1 s2] behaves as applying [s2] then [s1]. *)
+let compose (s1 : t) (s2 : t) : t =
+  let s2' = M.map (apply s1) s2 in
+  M.union (fun _ v _ -> Some v) s2' s1
+
+(** Restrict the substitution to the given variables. *)
+let restrict vars (s : t) : t = M.filter (fun x _ -> List.mem x vars) s
+
+let equal (a : t) (b : t) = M.equal Term.equal a b
+
+let pp ppf (s : t) =
+  let pp_binding ppf (x, t) = Format.fprintf ppf "%s := %a" x Term.pp t in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_binding)
+    (M.bindings s)

@@ -1,0 +1,22 @@
+(** Interned symbols: constants, function and relation names.
+
+    Each distinct string maps to a unique small integer, making equality,
+    comparison and hashing O(1). The intern table is global and append-only. *)
+
+type t = private int
+
+val intern : string -> t
+(** [intern s] returns the unique symbol for [s], creating it if needed. *)
+
+val name : t -> string
+(** [name sym] is the string [sym] was interned from.
+    @raise Invalid_argument on an id that was never interned. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val fresh : string -> t
+(** [fresh prefix] interns a new symbol ["prefix#n"] guaranteed distinct
+    from all previously created symbols; used by rewriters. *)

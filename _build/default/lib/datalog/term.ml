@@ -1,0 +1,84 @@
+(** First-order terms with function symbols.
+
+    The paper departs from classical Datalog by allowing function symbols
+    (Section 3): they are needed to create the identities of unfolding nodes
+    (the Skolem functions [f], [g], [h] of Section 4). Variables are named by
+    strings; rule-local scoping is the responsibility of the rule type. *)
+
+type t =
+  | Const of Symbol.t
+  | Var of string
+  | App of Symbol.t * t list
+
+let const s = Const (Symbol.intern s)
+let var x = Var x
+let app f args = App (Symbol.intern f, args)
+let capp f args = App (f, args)
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Symbol.equal x y
+  | Var x, Var y -> String.equal x y
+  | App (f, xs), App (g, ys) ->
+    Symbol.equal f g && List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Const _ | Var _ | App _), _ -> false
+
+let rec compare a b =
+  match a, b with
+  | Const x, Const y -> Symbol.compare x y
+  | Const _, (Var _ | App _) -> -1
+  | Var _, Const _ -> 1
+  | Var x, Var y -> String.compare x y
+  | Var _, App _ -> -1
+  | App _, (Const _ | Var _) -> 1
+  | App (f, xs), App (g, ys) ->
+    let c = Symbol.compare f g in
+    if c <> 0 then c else List.compare compare xs ys
+
+let rec hash = function
+  | Const s -> Symbol.hash s
+  | Var x -> 31 * Hashtbl.hash x + 17
+  | App (f, args) -> List.fold_left (fun acc t -> (acc * 65599) + hash t) (Symbol.hash f + 7) args
+
+let rec is_ground = function
+  | Const _ -> true
+  | Var _ -> false
+  | App (_, args) -> List.for_all is_ground args
+
+(** Depth of a term: constants and variables have depth 1. Used to implement
+    the "gadgets to prevent non terminating computations, such as bounding
+    the depth of the unfolding" of Section 4.4. *)
+let rec depth = function
+  | Const _ | Var _ -> 1
+  | App (_, args) -> 1 + List.fold_left (fun acc t -> max acc (depth t)) 0 args
+
+(** Number of symbols in the term; used to approximate message sizes. *)
+let rec size = function
+  | Const _ | Var _ -> 1
+  | App (_, args) -> List.fold_left (fun acc t -> acc + size t) 1 args
+
+let rec vars_fold f acc = function
+  | Const _ -> acc
+  | Var x -> f acc x
+  | App (_, args) -> List.fold_left (vars_fold f) acc args
+
+let vars t =
+  List.rev (vars_fold (fun acc x -> if List.mem x acc then acc else x :: acc) [] t)
+
+let rec pp ppf = function
+  | Const s -> Symbol.pp ppf s
+  | Var x -> Format.pp_print_string ppf x
+  | App (f, args) ->
+    Format.fprintf ppf "%a(%a)" Symbol.pp f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp)
+      args
+
+let to_string t = Format.asprintf "%a" pp t
+
+module As_key = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (As_key)
+module Map = Map.Make (As_key)

@@ -1,0 +1,48 @@
+(** First-order terms with function symbols.
+
+    The paper departs from classical Datalog by allowing function symbols
+    (Section 3): they create the identities of unfolding nodes (the Skolem
+    functions [f], [g], [h] of Section 4). *)
+
+type t =
+  | Const of Symbol.t
+  | Var of string
+  | App of Symbol.t * t list
+
+val const : string -> t
+(** [const s] is the constant named [s]. *)
+
+val var : string -> t
+
+val app : string -> t list -> t
+(** [app f args] is the application of function symbol [f]. *)
+
+val capp : Symbol.t -> t list -> t
+(** Like {!app} on an already interned symbol. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_ground : t -> bool
+(** No variables anywhere. *)
+
+val depth : t -> int
+(** Depth of the term; constants and variables have depth 1. Implements the
+    "gadgets to prevent non-terminating computations, such as bounding the
+    depth of the unfolding" of Section 4.4. *)
+
+val size : t -> int
+(** Number of symbols; used to approximate message sizes. *)
+
+val vars_fold : ('a -> string -> 'a) -> 'a -> t -> 'a
+(** Fold over variable occurrences, left to right. *)
+
+val vars : t -> string list
+(** Distinct variables in order of first occurrence. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

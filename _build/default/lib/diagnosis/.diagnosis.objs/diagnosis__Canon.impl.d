@@ -1,0 +1,1 @@
+lib/diagnosis/canon.ml: Datalog List Petri String Symbol Term

@@ -1,0 +1,1 @@
+lib/diagnosis/canon.mli: Datalog Petri Term

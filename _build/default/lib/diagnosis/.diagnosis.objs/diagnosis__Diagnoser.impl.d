@@ -1,0 +1,1 @@
+lib/diagnosis/diagnoser.ml: Adornment Canon Datalog Datom Dprogram Dqsq Encode Encode_paper Eval Fact_store List Magic Network Petri Printf Qsq Qsq_engine String Supervisor Term

@@ -1,0 +1,1 @@
+lib/diagnosis/diagnoser.mli: Canon Datalog Datom Dprogram Dqsq Eval Network Petri Supervisor Term

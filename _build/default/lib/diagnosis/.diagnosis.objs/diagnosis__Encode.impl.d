@@ -1,0 +1,1 @@
+lib/diagnosis/encode.ml: Canon Datalog Datom Dprogram Dqsq Drule List Petri String Term

@@ -1,0 +1,1 @@
+lib/diagnosis/encode.mli: Datom Dprogram Dqsq Petri

@@ -1,0 +1,1 @@
+lib/diagnosis/encode_negation.ml: Atom Canon Datalog Dqsq Encode Eval Fact_store List Petri Program Rule Term

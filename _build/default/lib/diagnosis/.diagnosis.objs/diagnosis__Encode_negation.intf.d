@@ -1,0 +1,1 @@
+lib/diagnosis/encode_negation.mli: Datalog Petri Program Term

@@ -1,0 +1,1 @@
+lib/diagnosis/encode_paper.ml: Canon Datalog Datom Dprogram Dqsq Drule Encode List Petri Term

@@ -1,0 +1,1 @@
+lib/diagnosis/encode_paper.mli: Dqsq Petri

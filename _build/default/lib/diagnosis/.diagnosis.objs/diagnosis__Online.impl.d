@@ -1,0 +1,1 @@
+lib/diagnosis/online.ml: Canon Datalog Hashtbl List Petri Printf Queue String Symbol Term

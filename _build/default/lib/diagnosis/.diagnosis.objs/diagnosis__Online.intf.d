@@ -1,0 +1,1 @@
+lib/diagnosis/online.mli: Canon Datalog Petri Term

@@ -1,0 +1,1 @@
+lib/diagnosis/pattern.ml: Format Hashtbl List Map Queue Set String

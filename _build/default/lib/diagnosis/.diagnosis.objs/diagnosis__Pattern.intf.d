@@ -1,0 +1,1 @@
+lib/diagnosis/pattern.mli: Format Set

@@ -1,0 +1,1 @@
+lib/diagnosis/product.ml: Array Canon Datalog Hashtbl List Pattern Petri Printf Queue String Supervisor Symbol Term

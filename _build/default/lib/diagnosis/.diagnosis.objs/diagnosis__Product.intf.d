@@ -1,0 +1,1 @@
+lib/diagnosis/product.mli: Canon Datalog Petri Supervisor Term

@@ -1,0 +1,1 @@
+lib/diagnosis/reference.ml: Canon Datalog List Pattern Petri String Supervisor Term

@@ -1,0 +1,1 @@
+lib/diagnosis/reference.mli: Canon Petri Supervisor

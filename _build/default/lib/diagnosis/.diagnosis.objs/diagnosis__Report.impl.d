@@ -1,0 +1,1 @@
+lib/diagnosis/report.ml: Canon Datalog Format Hashtbl List Option Petri Printf String Term

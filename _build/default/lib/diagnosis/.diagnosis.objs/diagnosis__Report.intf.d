@@ -1,0 +1,1 @@
+lib/diagnosis/report.mli: Canon Datalog Format Petri Term

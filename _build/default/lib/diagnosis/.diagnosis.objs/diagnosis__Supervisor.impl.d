@@ -1,0 +1,1 @@
+lib/diagnosis/supervisor.ml: Atom Canon Datalog Datom Dprogram Dqsq Drule Hashtbl List Pattern Petri Printf String Term

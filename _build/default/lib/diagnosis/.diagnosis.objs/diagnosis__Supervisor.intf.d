@@ -1,0 +1,1 @@
+lib/diagnosis/supervisor.mli: Atom Canon Datalog Datom Dprogram Dqsq Pattern Petri Term

@@ -1,0 +1,85 @@
+(** Canonical node identities shared by all three diagnosers.
+
+    The Datalog encoding names unfolding nodes with the Skolem terms
+    [f(c, u, v)] (events) and [g(parent, place)] (conditions), rooted at the
+    virtual transition [r] (Section 4.1). The reference unfolder computes the
+    same names ({!Petri.Unfolding.name}); this module converts between the
+    two representations so that the bijections of Theorems 2 and 4 can be
+    checked as set equalities of terms. *)
+
+open Datalog
+
+(** The virtual root transition id (the paper's [r]); ['#'] cannot appear in
+    parsed node identifiers, so it never collides. *)
+let root_id = "#r"
+
+let root_term = Term.const root_id
+
+let rec term_of_name (n : Petri.Unfolding.name) : Term.t =
+  match n with
+  | Petri.Unfolding.Cond_name (parent, place) ->
+    let parent_term =
+      match parent with
+      | Petri.Unfolding.Root -> root_term
+      | Petri.Unfolding.Parent e -> term_of_name e
+    in
+    Term.app "g" [ parent_term; Term.const place ]
+  | Petri.Unfolding.Event_name (t, pres) ->
+    Term.app "f" (Term.const t :: List.map term_of_name pres)
+
+exception Not_a_node of Term.t
+
+let rec name_of_term (t : Term.t) : Petri.Unfolding.name =
+  match t with
+  | Term.App (g, [ parent; place ]) when Symbol.name g = "g" -> (
+    let place =
+      match place with
+      | Term.Const c -> Symbol.name c
+      | Term.Var _ | Term.App _ -> raise (Not_a_node t)
+    in
+    match parent with
+    | Term.Const c when Symbol.name c = root_id ->
+      Petri.Unfolding.Cond_name (Petri.Unfolding.Root, place)
+    | Term.Const _ | Term.Var _ -> raise (Not_a_node t)
+    | Term.App _ ->
+      Petri.Unfolding.Cond_name (Petri.Unfolding.Parent (name_of_term parent), place))
+  | Term.App (f, Term.Const tid :: pres) when Symbol.name f = "f" && pres <> [] ->
+    Petri.Unfolding.Event_name (Symbol.name tid, List.map name_of_term pres)
+  | Term.Const _ | Term.Var _ | Term.App _ -> raise (Not_a_node t)
+
+let is_event_term = function
+  | Term.App (f, _) -> Symbol.name f = "f"
+  | Term.Const _ | Term.Var _ -> false
+
+let is_cond_term = function
+  | Term.App (g, _) -> Symbol.name g = "g"
+  | Term.Const _ | Term.Var _ -> false
+
+(** The Petri-net transition an event term instantiates. *)
+let transition_of_event_term = function
+  | Term.App (_, Term.Const tid :: _) -> Some (Symbol.name tid)
+  | Term.Const _ | Term.Var _ | Term.App _ -> None
+
+(** A configuration as a set of event terms; a diagnosis is a set of
+    configurations. Configurations coming from different interleaving orders
+    of the same events are identified (the diagnosis {e set} of the paper). *)
+type config = Term.Set.t
+
+type diagnosis = config list  (** sorted, duplicate-free *)
+
+let normalize_diagnosis (configs : config list) : diagnosis =
+  List.sort_uniq Term.Set.compare configs
+
+let equal_diagnosis (a : diagnosis) (b : diagnosis) =
+  List.length a = List.length b && List.for_all2 Term.Set.equal a b
+
+let config_to_string (c : config) =
+  "{" ^ String.concat ", " (List.map Term.to_string (Term.Set.elements c)) ^ "}"
+
+let diagnosis_to_string (d : diagnosis) =
+  String.concat "\n" (List.map config_to_string d)
+
+(** Configurations as sets of Petri-net transition ids (a compact view for
+    the human supervisor, losing instance multiplicity). *)
+let config_transitions (c : config) : string list =
+  List.sort String.compare (List.filter_map transition_of_event_term (Term.Set.elements c))

@@ -1,0 +1,215 @@
+(* The Section 4.1 encoding transcribed literally: the unfolding constrained
+   by notCausal / causal / notConf, with transTree / placesTree keeping the
+   conflict check local. See the .mli for the gaps in the paper's sketch
+   that had to be filled (they are marked [gap] below). *)
+
+open Datalog
+open Dqsq
+
+let v x = Term.Var x
+let c s = Term.const s
+let datom ~rel ~peer args = Datom.make ~rel ~peer args
+let pos ~rel ~peer args = Drule.Pos (datom ~rel ~peer args)
+
+let unfolding_program (net : Petri.Net.t) : Dprogram.t =
+  if not (Petri.Net.is_binary net) then
+    raise (Encode.Unsupported "Encode_paper.unfolding_program: net must be binarized");
+  let peers = Petri.Net.peers net in
+  let rules = ref [] in
+  let emit r = rules := r :: !rules in
+  let producer_peers = Encode.producer_peers net in
+
+  (* ---- roots (the paper's rule (††)) ---- *)
+  List.iter
+    (fun (p : Petri.Net.place) ->
+      if Petri.Net.String_set.mem p.Petri.Net.p_id (Petri.Net.marking net) then begin
+        let node = Term.app "g" [ Canon.root_term; c p.Petri.Net.p_id ] in
+        let peer = p.Petri.Net.p_peer in
+        emit (Drule.fact (datom ~rel:"places" ~peer [ node; Canon.root_term ]));
+        emit (Drule.fact (datom ~rel:"map" ~peer [ node; c p.Petri.Net.p_id ]))
+      end)
+    (Petri.Net.places net);
+
+  (* ---- per-transition rules ---- *)
+  List.iter
+    (fun (tr : Petri.Net.transition) ->
+      let p = tr.Petri.Net.t_peer in
+      let tid = tr.Petri.Net.t_id in
+      let c0, c00 =
+        match tr.Petri.Net.t_pre with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let combos =
+        List.concat_map
+          (fun p0 -> List.map (fun p00 -> (p0, p00)) (producer_peers c00))
+          (producer_peers c0)
+      in
+      let event = Term.app "f" [ c tid; v "U"; v "V" ] in
+      (* Event creation: "for each transition node c in p with grandparent
+         nodes at peers p', p''". *)
+      List.iter
+        (fun (p0, p00) ->
+          let body =
+            [ pos ~rel:"map" ~peer:p0 [ v "U"; c c0 ];
+              pos ~rel:"map" ~peer:p00 [ v "V"; c c00 ];
+              pos ~rel:"places" ~peer:p0 [ v "U"; v "U0" ];
+              pos ~rel:"places" ~peer:p00 [ v "V"; v "V0" ];
+              pos ~rel:"notCausal" ~peer:p0 [ v "U0"; v "V" ];
+              pos ~rel:"notCausal" ~peer:p00 [ v "V0"; v "U" ];
+              pos ~rel:"notConf" ~peer:p0 [ v "U0"; v "U0"; v "V0" ] ]
+          in
+          emit (Drule.make (datom ~rel:"trans" ~peer:p [ event; v "U"; v "V" ]) body);
+          emit (Drule.make (datom ~rel:"map" ~peer:p [ event; c tid ]) body))
+        combos;
+      (* Conditions: one per child place of each event instance. *)
+      List.iter
+        (fun c' ->
+          let node = Term.app "g" [ v "X"; c c' ] in
+          let body =
+            [ pos ~rel:"map" ~peer:p [ v "X"; c tid ];
+              pos ~rel:"trans" ~peer:p [ v "X"; v "Y"; v "Z" ] ]
+          in
+          emit (Drule.make (datom ~rel:"places" ~peer:p [ node; v "X" ]) body);
+          emit (Drule.make (datom ~rel:"map" ~peer:p [ node; c c' ]) body))
+        tr.Petri.Net.t_post;
+      (* causal: direct grandparents, then transitive chaining. *)
+      List.iter
+        (fun (p0, p00) ->
+          let guard =
+            [ pos ~rel:"map" ~peer:p [ v "X"; c tid ];
+              pos ~rel:"trans" ~peer:p [ v "X"; v "U"; v "V" ] ]
+          in
+          emit
+            (Drule.make
+               (datom ~rel:"causal" ~peer:p [ v "X"; v "Y" ])
+               (guard @ [ pos ~rel:"places" ~peer:p0 [ v "U"; v "Y" ] ]));
+          emit
+            (Drule.make
+               (datom ~rel:"causal" ~peer:p [ v "X"; v "Y" ])
+               (guard @ [ pos ~rel:"places" ~peer:p00 [ v "V"; v "Y" ] ])))
+        combos;
+      (* notCausal: y is not an ancestor of x. *)
+      List.iter
+        (fun (p0, p00) ->
+          emit
+            (Drule.make
+               (datom ~rel:"notCausal" ~peer:p [ v "X"; v "Y" ])
+               [ pos ~rel:"map" ~peer:p [ v "X"; c tid ];
+                 pos ~rel:"trans" ~peer:p [ v "X"; v "U"; v "V" ];
+                 pos ~rel:"places" ~peer:p0 [ v "U"; v "U0" ];
+                 pos ~rel:"notCausal" ~peer:p0 [ v "U0"; v "Y" ];
+                 pos ~rel:"places" ~peer:p00 [ v "V"; v "V0" ];
+                 pos ~rel:"notCausal" ~peer:p00 [ v "V0"; v "Y" ];
+                 Drule.Neq (v "U", v "Y");
+                 Drule.Neq (v "V", v "Y");
+                 Drule.Neq (v "X", v "Y") ]))
+        combos;
+      (* transTree / placesTree: local copies of the ancestor tree. The
+         paper prints the copy rules along the first parent only; [gap] we
+         copy along both parents, which the notConf recursion requires. *)
+      List.iter
+        (fun (p0, p00) ->
+          let guard =
+            [ pos ~rel:"map" ~peer:p [ v "X"; c tid ];
+              pos ~rel:"trans" ~peer:p [ v "X"; v "U"; v "V" ] ]
+          in
+          let via ~branch ~peer' =
+            let cond_var = if branch = `U then "U" else "V" in
+            let parent_var = if branch = `U then "U0" else "V0" in
+            let step = pos ~rel:"places" ~peer:peer' [ v cond_var; v parent_var ] in
+            emit
+              (Drule.make
+                 (datom ~rel:"transTree" ~peer:p [ v "X"; v "W"; v "W0"; v "W00" ])
+                 (guard
+                 @ [ step;
+                     pos ~rel:"transTree" ~peer:peer' [ v parent_var; v "W"; v "W0"; v "W00" ] ]));
+            emit
+              (Drule.make
+                 (datom ~rel:"placesTree" ~peer:p [ v "X"; v cond_var; v parent_var ])
+                 (guard @ [ step ]));
+            emit
+              (Drule.make
+                 (datom ~rel:"placesTree" ~peer:p [ v "X"; v "Z"; v "Z0" ])
+                 (guard
+                 @ [ step; pos ~rel:"placesTree" ~peer:peer' [ v parent_var; v "Z"; v "Z0" ] ]))
+          in
+          via ~branch:`U ~peer':p0;
+          via ~branch:`V ~peer':p00)
+        combos)
+    (Petri.Net.transitions net);
+
+  (* ---- per-peer rules ---- *)
+  List.iter
+    (fun p ->
+      (* causal is reflexive on events. *)
+      emit
+        (Drule.make
+           (datom ~rel:"causal" ~peer:p [ v "X"; v "X" ])
+           [ pos ~rel:"trans" ~peer:p [ v "X"; v "U"; v "V" ] ]);
+      (* the tree contains the node itself *)
+      emit
+        (Drule.make
+           (datom ~rel:"transTree" ~peer:p [ v "X"; v "X"; v "U"; v "V" ])
+           [ pos ~rel:"trans" ~peer:p [ v "X"; v "U"; v "V" ] ]);
+      List.iter
+        (fun p' ->
+          (* causal transitivity through an intermediate event at p'. *)
+          emit
+            (Drule.make
+               (datom ~rel:"causal" ~peer:p [ v "X"; v "Y" ])
+               [ pos ~rel:"causal" ~peer:p [ v "X"; v "U" ];
+                 pos ~rel:"causal" ~peer:p' [ v "U"; v "Y" ] ]);
+          (* the virtual root is not caused by any node. [gap] The paper
+             only states this for transition nodes; the event rule also
+             needs it for place nodes. *)
+          emit
+            (Drule.make
+               (datom ~rel:"notCausal" ~peer:p [ Canon.root_term; v "X" ])
+               [ pos ~rel:"trans" ~peer:p' [ v "X"; v "Y"; v "Z" ] ]);
+          emit
+            (Drule.make
+               (datom ~rel:"notCausal" ~peer:p [ Canon.root_term; v "M" ])
+               [ pos ~rel:"places" ~peer:p' [ v "M"; v "W" ] ]);
+          (* no conflict with the virtual root, under either observer. [gap]
+             The paper's base rule only covers event observers and event
+             third arguments; r-observer and r-third-argument cases arise
+             when a parent condition is a root. *)
+          emit
+            (Drule.make
+               (datom ~rel:"notConf" ~peer:p [ v "W"; Canon.root_term; v "X" ])
+               [ pos ~rel:"trans" ~peer:p [ v "W"; v "Y"; v "Z" ];
+                 pos ~rel:"trans" ~peer:p' [ v "X"; v "Y2"; v "Z2" ] ]);
+          emit
+            (Drule.make
+               (datom ~rel:"notConf" ~peer:p [ Canon.root_term; Canon.root_term; v "X" ])
+               [ pos ~rel:"trans" ~peer:p' [ v "X"; v "Y"; v "Z" ] ]);
+          (* notConf recursion: z (an ancestor of the observer x) does not
+             conflict with y, whose peer is p' (the paper's Mates(p); we
+             range over all peers). *)
+          let tree_guard =
+            [ pos ~rel:"transTree" ~peer:p [ v "X"; v "Z"; v "U"; v "V" ];
+              pos ~rel:"placesTree" ~peer:p [ v "X"; v "U"; v "U0" ];
+              pos ~rel:"placesTree" ~peer:p [ v "X"; v "V"; v "V0" ];
+              pos ~rel:"notConf" ~peer:p [ v "X"; v "U0"; v "Y" ];
+              pos ~rel:"notConf" ~peer:p [ v "X"; v "V0"; v "Y" ] ]
+          in
+          emit
+            (Drule.make
+               (datom ~rel:"notConf" ~peer:p [ v "X"; v "Z"; v "Y" ])
+               (tree_guard
+               @ [ pos ~rel:"notCausal" ~peer:p' [ v "Y"; v "U" ];
+                   pos ~rel:"notCausal" ~peer:p' [ v "Y"; v "V" ] ]));
+          emit
+            (Drule.make
+               (datom ~rel:"notConf" ~peer:p [ v "X"; v "Z"; v "Y" ])
+               (tree_guard @ [ pos ~rel:"causal" ~peer:p' [ v "Y"; v "Z" ] ])))
+        peers;
+      emit
+        (Drule.make
+           (datom ~rel:"notConf" ~peer:p [ v "W"; Canon.root_term; Canon.root_term ])
+           [ pos ~rel:"trans" ~peer:p [ v "W"; v "Y"; v "Z" ] ]);
+      emit
+        (Drule.fact
+           (datom ~rel:"notConf" ~peer:p
+              [ Canon.root_term; Canon.root_term; Canon.root_term ])))
+    peers;
+  Dprogram.make (List.rev !rules)

@@ -1,0 +1,23 @@
+(** The Section 4.1 encoding transcribed {e literally}: event creation
+    constrained by [notCausal] and [notConf], with [causal] as a positive
+    auxiliary and [transTree]/[placesTree] keeping the conflict check local
+    to the observer's peer — the paper's own rule set, as an alternative to
+    the [co]-based primary encoding of {!Encode}.
+
+    The paper's sketch has gaps that any implementation must fill (each is
+    marked [gap] in the source and tested):
+    - the tree-copy rules are printed along the first parent only; the
+      conflict recursion needs both branches;
+    - the virtual root's [notCausal] base case only covers transition
+      nodes, but the event rule compares conditions against [r] too;
+    - the [notConf] base cases miss the root-as-observer and
+      root-as-third-argument combinations that arise whenever a parent
+      condition is initially marked.
+
+    Both encodings generate exactly the same [trans]/[places]/[map] facts
+    (checked in the test suite); they differ in the auxiliary relations —
+    [co] is quadratic in conditions, the literal encoding additionally
+    materializes per-observer ancestor-tree copies. *)
+
+val unfolding_program : Petri.Net.t -> Dqsq.Dprogram.t
+(** @raise Encode.Unsupported unless the net is binarized. *)

@@ -1,0 +1,162 @@
+(* Online diagnosis; see the .mli. *)
+
+open Datalog
+
+type state = {
+  positions : (string * int) list;  (** alarms consumed per known peer *)
+  config : Term.Set.t;
+  cut : Term.Set.t;
+}
+
+type t = {
+  net : Petri.Net.t;
+  mutable words : (string * string list) list;  (** per-peer alarms, reversed *)
+  mutable states : state list;
+  seen : (string, unit) Hashtbl.t;
+  mutable events_materialized : Term.Set.t;
+  mutable conds_materialized : Term.Set.t;
+  mutable states_explored : int;
+  max_states : int;
+}
+
+let state_key st =
+  String.concat "|" (List.map (fun (p, i) -> Printf.sprintf "%s=%d" p i) st.positions)
+  ^ "||"
+  ^ String.concat ";" (List.map Term.to_string (Term.Set.elements st.config))
+
+let start ?(max_states = 2_000_000) (net : Petri.Net.t) : t =
+  let initial_cut =
+    Petri.Net.String_set.fold
+      (fun place acc -> Term.Set.add (Term.app "g" [ Canon.root_term; Term.const place ]) acc)
+      (Petri.Net.marking net) Term.Set.empty
+  in
+  let st = { positions = []; config = Term.Set.empty; cut = initial_cut } in
+  let t =
+    {
+      net;
+      words = [];
+      states = [ st ];
+      seen = Hashtbl.create 256;
+      events_materialized = Term.Set.empty;
+      conds_materialized = initial_cut;
+      states_explored = 1;
+      max_states;
+    }
+  in
+  Hashtbl.add t.seen (state_key st) ();
+  t
+
+let word_length t p =
+  match List.assoc_opt p t.words with Some w -> List.length w | None -> 0
+
+let word_at t p i = List.nth (List.rev (List.assoc p t.words)) i
+
+(* try to extend [st] by one alarm of peer [p]; returns the new states *)
+let extensions t st p =
+  let i = List.assoc p st.positions in
+  if i >= word_length t p then []
+  else
+    let alarm = word_at t p i in
+    let transitions =
+      List.filter
+        (fun (tr : Petri.Net.transition) ->
+          String.equal tr.Petri.Net.t_peer p && String.equal tr.Petri.Net.t_alarm alarm)
+        (Petri.Net.transitions t.net)
+    in
+    List.concat_map
+      (fun (tr : Petri.Net.transition) ->
+        let choices =
+          (* one cut condition per parent place, pairwise distinct *)
+          let rec go chosen = function
+            | [] -> [ List.rev chosen ]
+            | place :: rest ->
+              Term.Set.fold
+                (fun cond acc ->
+                  match cond with
+                  | Term.App (_, [ _; Term.Const pl ])
+                    when String.equal (Symbol.name pl) place
+                         && not (List.exists (Term.equal cond) chosen) ->
+                    go (cond :: chosen) rest @ acc
+                  | _ -> acc)
+                st.cut []
+          in
+          go [] tr.Petri.Net.t_pre
+        in
+        List.map
+          (fun pre_conds ->
+            let event = Term.app "f" (Term.const tr.Petri.Net.t_id :: pre_conds) in
+            let children =
+              List.map (fun c' -> Term.app "g" [ event; Term.const c' ]) tr.Petri.Net.t_post
+            in
+            t.events_materialized <- Term.Set.add event t.events_materialized;
+            List.iter
+              (fun cd -> t.conds_materialized <- Term.Set.add cd t.conds_materialized)
+              children;
+            {
+              positions =
+                List.map (fun (q, j) -> if String.equal q p then (q, j + 1) else (q, j))
+                  st.positions;
+              config = Term.Set.add event st.config;
+              cut =
+                List.fold_left (fun acc cd -> Term.Set.add cd acc)
+                  (List.fold_left (fun acc cd -> Term.Set.remove cd acc) st.cut pre_conds)
+                  children;
+            })
+          choices)
+      transitions
+
+(* saturate: extend states until none lags behind any word without having
+   all its extensions explored *)
+let saturate t =
+  let queue = Queue.create () in
+  List.iter (fun st -> Queue.add st queue) t.states;
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    List.iter
+      (fun (p, _) ->
+        List.iter
+          (fun st' ->
+            let key = state_key st' in
+            if not (Hashtbl.mem t.seen key) then begin
+              if Hashtbl.length t.seen >= t.max_states then
+                failwith "Online.observe: state budget exceeded";
+              Hashtbl.add t.seen key ();
+              t.states <- st' :: t.states;
+              t.states_explored <- t.states_explored + 1;
+              Queue.add st' queue
+            end)
+          (extensions t st p))
+      st.positions
+  done
+
+let observe (t : t) ((symbol, peer) : string * string) : unit =
+  (match List.assoc_opt peer t.words with
+  | Some w -> t.words <- (peer, symbol :: w) :: List.remove_assoc peer t.words
+  | None ->
+    t.words <- (peer, [ symbol ]) :: t.words;
+    (* a new peer: every state gains a zero position for it; keys change,
+       so rebuild the dedup table *)
+    t.states <-
+      List.map
+        (fun st -> { st with positions = List.sort compare ((peer, 0) :: st.positions) })
+        t.states;
+    Hashtbl.reset t.seen;
+    List.iter (fun st -> Hashtbl.add t.seen (state_key st) ()) t.states);
+  saturate t
+
+let observe_all t alarms =
+  List.iter (fun (a : Petri.Alarm.alarm) -> observe t (a.Petri.Alarm.symbol, a.Petri.Alarm.peer))
+    alarms
+
+let diagnosis (t : t) : Canon.diagnosis =
+  Canon.normalize_diagnosis
+    (List.filter_map
+       (fun st ->
+         if List.for_all (fun (p, i) -> i = word_length t p) st.positions then
+           Some st.config
+         else None)
+       t.states)
+
+let events_materialized t = t.events_materialized
+let conds_materialized t = t.conds_materialized
+let states_explored t = t.states_explored

@@ -1,0 +1,37 @@
+(** Online (incremental) diagnosis: the [8]-style product search driven by
+    alarms as they arrive.
+
+    The paper's algorithms are inherently incremental — [configPrefixes]
+    "explains increasing prefixes of the alarm sequence", and the dedicated
+    algorithm "adds, to the net constructed for the prefix of length i-1,
+    the transition nodes that emit the i-th alarm". This module keeps the
+    search frontier alive between alarms: each [observe] extends the
+    per-peer subsequences and saturates the state space incrementally,
+    reusing everything built so far. At any moment {!diagnosis} returns the
+    explanations of the observation so far, and the materialized prefix
+    grows monotonically.
+
+    States whose per-peer positions lag behind the current words are kept:
+    an early alarm's event may causally depend on an event explaining a
+    later alarm of another peer, so partial states must survive. *)
+
+open Datalog
+
+type t
+
+val start : ?max_states:int -> Petri.Net.t -> t
+(** Begin supervising (nothing observed yet: the empty configuration is
+    the only explanation). *)
+
+val observe : t -> string * string -> unit
+(** One alarm [(symbol, peer)] arrives.
+    @raise Failure when [max_states] is exceeded. *)
+
+val observe_all : t -> Petri.Alarm.alarm list -> unit
+
+val diagnosis : t -> Canon.diagnosis
+(** Explanations of everything observed so far. *)
+
+val events_materialized : t -> Term.Set.t
+val conds_materialized : t -> Term.Set.t
+val states_explored : t -> int

@@ -1,0 +1,140 @@
+(* Human-readable reports of diagnoses; see the .mli. *)
+
+open Datalog
+
+type event_view = {
+  term : Term.t;
+  transition : string;
+  peer : string;
+  alarm : string;
+  causes : Term.t list;  (** immediate causal predecessors within the config *)
+}
+
+(* The parent events of an event term: the producers of its preset
+   conditions, read off the term structure. *)
+let parents_of_event_term (t : Term.t) : Term.t list =
+  match t with
+  | Term.App (_, _ :: pres) ->
+    List.filter_map
+      (function
+        | Term.App (_, [ parent; _ ]) when Canon.is_event_term parent -> Some parent
+        | _ -> None)
+      pres
+  | _ -> []
+
+let view_of_config (net : Petri.Net.t) (config : Canon.config) : event_view list =
+  let events = Term.Set.elements config in
+  List.filter_map
+    (fun t ->
+      match Canon.transition_of_event_term t with
+      | None -> None
+      | Some tid ->
+        let tr = Petri.Net.transition net tid in
+        let causes =
+          List.filter (fun p -> Term.Set.mem p config) (parents_of_event_term t)
+        in
+        Some
+          {
+            term = t;
+            transition = tid;
+            peer = tr.Petri.Net.t_peer;
+            alarm = tr.Petri.Net.t_alarm;
+            causes;
+          })
+    events
+
+(* topological order: causes first (stable within levels by term order) *)
+let topo_sort (views : event_view list) : event_view list =
+  let placed : (Term.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let remaining = ref views in
+  let out = ref [] in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, rest =
+      List.partition
+        (fun v -> List.for_all (Hashtbl.mem placed) v.causes)
+        !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      List.iter (fun v -> Hashtbl.add placed v.term ()) ready;
+      out := !out @ ready;
+      remaining := rest
+    end
+  done;
+  !out @ !remaining
+
+let pp_config ppf (net : Petri.Net.t) (config : Canon.config) =
+  let views = topo_sort (view_of_config net config) in
+  if views = [] then Format.fprintf ppf "    (the empty explanation)@,"
+  else
+    List.iter
+      (fun v ->
+        let because =
+          match v.causes with
+          | [] -> "initial state"
+          | causes ->
+            "after "
+            ^ String.concat " and "
+                (List.filter_map
+                   (fun c ->
+                     Option.map
+                       (fun tid -> Printf.sprintf "%s" tid)
+                       (Canon.transition_of_event_term c))
+                   causes)
+        in
+        Format.fprintf ppf "    %-12s @@%-10s alarm %-8s (%s)@," v.transition v.peer
+          v.alarm because)
+      views
+
+(** A compact textual report of a whole diagnosis: one block per
+    explanation, events in causal order, each with its peer, alarm, and
+    immediate causes. *)
+let pp ppf (net : Petri.Net.t) (diagnosis : Canon.diagnosis) =
+  Format.fprintf ppf "@[<v>%d possible explanation(s)@," (List.length diagnosis);
+  List.iteri
+    (fun i config ->
+      Format.fprintf ppf "explanation #%d:@," (i + 1);
+      pp_config ppf net config)
+    diagnosis;
+  Format.fprintf ppf "@]"
+
+let to_string net diagnosis = Format.asprintf "%a" (fun ppf () -> pp ppf net diagnosis) ()
+
+(** Per-peer timelines: each observed peer's events in a causal linear
+    order — how the supervisor would narrate what happened at each site. *)
+let timelines (net : Petri.Net.t) (config : Canon.config) : (string * string list) list =
+  let views = topo_sort (view_of_config net config) in
+  let peers = List.sort_uniq String.compare (List.map (fun v -> v.peer) views) in
+  List.map
+    (fun p ->
+      ( p,
+        List.filter_map
+          (fun v ->
+            if String.equal v.peer p then
+              Some (Printf.sprintf "%s(%s)" v.transition v.alarm)
+            else None)
+          views ))
+    peers
+
+(** DOT rendering of one explanation inside the unfolding prefix (the
+    Fig. 2 shading): the configuration's events are highlighted. *)
+let dot_of_config (net : Petri.Net.t) (config : Canon.config) : string =
+  let depth =
+    Term.Set.fold (fun t acc -> max acc (Term.depth t)) config 2 + 2
+  in
+  let u =
+    Petri.Unfolding.unfold
+      ~bound:{ Petri.Unfolding.max_events = Some 10_000; max_depth = Some depth }
+      net
+  in
+  let highlight =
+    List.fold_left
+      (fun acc e ->
+        if Term.Set.mem (Canon.term_of_name e.Petri.Unfolding.e_name) config then
+          Petri.Unfolding.Int_set.add e.Petri.Unfolding.e_id acc
+        else acc)
+      Petri.Unfolding.Int_set.empty (Petri.Unfolding.events u)
+  in
+  Petri.Dot.unfolding_to_string ~highlight u

@@ -1,0 +1,29 @@
+(** Human-readable reports of diagnoses.
+
+    "In practice, this set will have to be 'explained' to a human
+    supervisor and represented (preferably graphically) in a compact form"
+    (Section 2). Events are presented in causal order with their peer,
+    alarm and immediate causes — all reconstructed from the Skolem-term
+    structure of the configuration itself. *)
+
+open Datalog
+
+type event_view = {
+  term : Term.t;
+  transition : string;
+  peer : string;
+  alarm : string;
+  causes : Term.t list;  (** immediate causal predecessors in the config *)
+}
+
+val view_of_config : Petri.Net.t -> Canon.config -> event_view list
+
+val pp : Format.formatter -> Petri.Net.t -> Canon.diagnosis -> unit
+val to_string : Petri.Net.t -> Canon.diagnosis -> string
+
+val timelines : Petri.Net.t -> Canon.config -> (string * string list) list
+(** Per-peer narration: each peer's events in a causal linear order. *)
+
+val dot_of_config : Petri.Net.t -> Canon.config -> string
+(** The Fig. 2 rendering: the unfolding prefix with the explanation's
+    events highlighted. *)

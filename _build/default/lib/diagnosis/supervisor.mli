@@ -1,0 +1,55 @@
+(** The supervisor's rules: diagnosing an observation (Sections 4.2, 4.4).
+
+    The received alarm sequence is split into per-peer subsequences encoded
+    in [alarmSeq]; [configPrefixes] builds configurations explaining
+    increasingly larger prefixes (k-ary index [ix(i1,...,ik)] across
+    peers), with [transInConf] and [notParent] as auxiliaries and [q]
+    selecting complete explanations. Observations generalize to regular
+    patterns ([alarmSeq] holds automaton transitions, index components are
+    automaton states); hidden transitions extend configurations without
+    touching the index. *)
+
+open Datalog
+open Dqsq
+
+type observation =
+  | Word of Petri.Alarm.alarm list  (** an exact per-peer subsequence *)
+  | Regex of Pattern.t  (** a regular pattern over the peer's alarms *)
+
+val pos_const : string -> string -> Term.t
+(** Index constant for a peer in an automaton state. *)
+
+val initial_id : Term.t
+(** The empty configuration id [h(r)]. *)
+
+val pattern_of_observation : observation -> Pattern.t
+
+type t = {
+  program : Dprogram.t;
+  facts : Datom.t list;  (** the [alarmSeq] and [accept] base relations *)
+  query : Datom.t;  (** [q@p0(Z, X)] *)
+  supervisor : string;
+  sequence_peers : string list;
+  unbounded : bool;
+      (** some pattern accepts arbitrarily long words or hidden transitions
+          exist: evaluation needs the depth gadget *)
+}
+
+val build_general :
+  ?supervisor:string ->
+  ?place_peers:string list ->
+  ?hidden_peers:string list ->
+  (string * observation) list ->
+  t
+(** [place_peers] is the directory of peers whose places events may
+    consume; it must include every system peer when transitions synchronize
+    across peers that did not alarm (the [notParent] base case ranges over
+    it). [hidden_peers] may fire unobserved transitions ([hiddenNet@p]).
+    @raise Invalid_argument on duplicate observation peers. *)
+
+val build : ?supervisor:string -> ?place_peers:string list -> Petri.Alarm.t -> t
+(** The basic problem of Section 4.2: one fixed alarm sequence. *)
+
+val diagnosis_of_answers : Atom.t list -> Canon.diagnosis
+(** Group the [q(z, x)] answers into a diagnosis (one configuration per id,
+    duplicates identified). *)

@@ -1,0 +1,1 @@
+lib/network/sim.ml: Hashtbl List Option Queue Random

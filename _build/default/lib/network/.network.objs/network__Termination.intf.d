@@ -1,0 +1,1 @@
+lib/network/termination.mli: Sim

@@ -1,0 +1,186 @@
+(** Deterministic simulator of an asynchronous peer-to-peer network.
+
+    The paper's peers are "autonomous and distributed" and communicate
+    asynchronously; the only ordering guarantee the diagnosis setting relies
+    on is per-channel FIFO (a peer's alarms reach the supervisor in emission
+    order, but streams from different peers interleave arbitrarily). The
+    simulator models exactly that: one FIFO queue per (source, destination)
+    pair, and a seeded scheduler that picks which nonempty channel delivers
+    next. With the same seed and policy, runs are reproducible.
+
+    Peers are registered with a message handler; a handler may send further
+    messages (and do arbitrary local work). The network is quiescent when
+    every channel is empty; [run] drives the simulation there and returns
+    delivery statistics. *)
+
+type peer_id = string
+
+type policy =
+  | Random_interleaving  (** pick a random nonempty channel (seeded) *)
+  | Round_robin  (** cycle over channels in creation order *)
+  | Global_fifo  (** deliver strictly in send order (a synchronous-ish run) *)
+
+type 'msg t = {
+  rng : Random.State.t;
+  loss_rng : Random.State.t;
+  loss : float;  (* probability that a sent message is silently dropped *)
+  mutable dropped : int;
+  policy : policy;
+  size_of : 'msg -> int;  (** abstract message size, for byte accounting *)
+  handlers : (peer_id, 'msg t -> src:peer_id -> 'msg -> unit) Hashtbl.t;
+  channels : (peer_id * peer_id, 'msg Queue.t) Hashtbl.t;
+  mutable channel_order : (peer_id * peer_id) list;  (** creation order *)
+  mutable rr_cursor : int;
+  mutable seq : int;  (** global send counter, for [Global_fifo] *)
+  pending : (int * (peer_id * peer_id)) Queue.t;  (** send order of messages *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;
+  per_channel : (peer_id * peer_id, int) Hashtbl.t;
+  mutable trace : (peer_id * peer_id * string) list;  (** reverse delivery log *)
+  mutable tracing : bool;
+  describe : 'msg -> string;
+}
+
+let create ?(seed = 0) ?(policy = Random_interleaving) ?(loss = 0.0)
+    ?(size_of = fun _ -> 1) ?(describe = fun _ -> "<msg>") () =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Sim.create: loss must be in [0, 1)";
+  {
+    rng = Random.State.make [| seed |];
+    loss_rng = Random.State.make [| seed + 7919 |];
+    loss;
+    dropped = 0;
+    policy;
+    size_of;
+    handlers = Hashtbl.create 16;
+    channels = Hashtbl.create 16;
+    channel_order = [];
+    rr_cursor = 0;
+    seq = 0;
+    pending = Queue.create ();
+    sent = 0;
+    delivered = 0;
+    bytes = 0;
+    per_channel = Hashtbl.create 16;
+    trace = [];
+    tracing = false;
+    describe;
+  }
+
+let set_tracing t b = t.tracing <- b
+
+exception Unknown_peer of peer_id
+
+let add_peer t id handler =
+  if Hashtbl.mem t.handlers id then invalid_arg ("Sim.add_peer: duplicate " ^ id);
+  Hashtbl.add t.handlers id handler
+
+let has_peer t id = Hashtbl.mem t.handlers id
+let peers t = Hashtbl.fold (fun id _ acc -> id :: acc) t.handlers []
+
+let channel t key =
+  match Hashtbl.find_opt t.channels key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.channels key q;
+    t.channel_order <- t.channel_order @ [ key ];
+    q
+
+(** Send a message; it is queued, not delivered synchronously — even a peer
+    sending to itself goes through its own channel. *)
+let send t ~src ~dst msg =
+  if not (Hashtbl.mem t.handlers dst) then raise (Unknown_peer dst);
+  if t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss then begin
+    (* failure injection: the channel silently loses the message *)
+    t.dropped <- t.dropped + 1;
+    t.sent <- t.sent + 1
+  end
+  else begin
+  let key = (src, dst) in
+  Queue.add msg (channel t key);
+  Queue.add (t.seq, key) t.pending;
+  t.seq <- t.seq + 1;
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + t.size_of msg;
+  Hashtbl.replace t.per_channel key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_channel key))
+  end
+
+let nonempty_channels t =
+  List.filter
+    (fun key -> match Hashtbl.find_opt t.channels key with
+      | Some q -> not (Queue.is_empty q)
+      | None -> false)
+    t.channel_order
+
+let is_quiescent t = nonempty_channels t = []
+
+let pick_channel t =
+  match t.policy with
+  | Global_fifo ->
+    (* skip stale entries whose channel head was already delivered *)
+    let rec go () =
+      if Queue.is_empty t.pending then None
+      else
+        let _, key = Queue.pop t.pending in
+        match Hashtbl.find_opt t.channels key with
+        | Some q when not (Queue.is_empty q) -> Some key
+        | Some _ | None -> go ()
+    in
+    go ()
+  | Random_interleaving -> (
+    match nonempty_channels t with
+    | [] -> None
+    | chans -> Some (List.nth chans (Random.State.int t.rng (List.length chans))))
+  | Round_robin -> (
+    match nonempty_channels t with
+    | [] -> None
+    | chans ->
+      let n = List.length chans in
+      t.rr_cursor <- (t.rr_cursor + 1) mod n;
+      Some (List.nth chans t.rr_cursor))
+
+(** Deliver one message if any is pending; returns [false] at quiescence. *)
+let step t =
+  match pick_channel t with
+  | None -> false
+  | Some ((src, dst) as key) ->
+    let q = channel t key in
+    let msg = Queue.pop q in
+    t.delivered <- t.delivered + 1;
+    if t.tracing then t.trace <- (src, dst, t.describe msg) :: t.trace;
+    let handler = Hashtbl.find t.handlers dst in
+    handler t ~src msg;
+    true
+
+exception Budget_exhausted of int
+
+(** Run to quiescence. [max_steps] guards against protocols that never
+    terminate. Returns the number of deliveries performed by this call. *)
+let run ?(max_steps = 10_000_000) t =
+  let n = ref 0 in
+  while step t do
+    incr n;
+    if !n > max_steps then raise (Budget_exhausted !n)
+  done;
+  !n
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** lost to failure injection *)
+  bytes : int;
+  channels : ((peer_id * peer_id) * int) list;  (** messages per channel *)
+}
+
+let stats (t : _ t) =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    bytes = t.bytes;
+    channels = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_channel []);
+  }
+
+let delivery_trace t = List.rev t.trace

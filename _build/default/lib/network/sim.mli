@@ -1,0 +1,67 @@
+(** Deterministic simulator of an asynchronous peer-to-peer network.
+
+    One FIFO queue per (source, destination) pair; a seeded scheduler picks
+    which nonempty channel delivers next — per-channel FIFO with arbitrary
+    cross-channel interleaving, exactly what the paper assumes of its
+    communication layer. Same seed and policy: same run. *)
+
+type peer_id = string
+
+type policy =
+  | Random_interleaving  (** pick a random nonempty channel (seeded) *)
+  | Round_robin  (** cycle over channels in creation order *)
+  | Global_fifo  (** deliver strictly in send order *)
+
+type 'msg t
+
+val create :
+  ?seed:int ->
+  ?policy:policy ->
+  ?loss:float ->
+  ?size_of:('msg -> int) ->
+  ?describe:('msg -> string) ->
+  unit ->
+  'msg t
+(** [size_of] feeds byte accounting; [describe] feeds the delivery trace.
+    [loss] in [0, 1) injects failures: each sent message is silently
+    dropped with that probability (the paper assumes reliable channels —
+    the injection shows the assumption is load-bearing).
+    @raise Invalid_argument on a loss outside [0, 1). *)
+
+val set_tracing : 'msg t -> bool -> unit
+
+exception Unknown_peer of peer_id
+
+val add_peer : 'msg t -> peer_id -> ('msg t -> src:peer_id -> 'msg -> unit) -> unit
+(** Register a peer with its message handler. Handlers may send. *)
+
+val has_peer : 'msg t -> peer_id -> bool
+val peers : 'msg t -> peer_id list
+
+val send : 'msg t -> src:peer_id -> dst:peer_id -> 'msg -> unit
+(** Queue a message; delivery is always asynchronous, even to self.
+    @raise Unknown_peer on an unregistered destination. *)
+
+val is_quiescent : 'msg t -> bool
+
+val step : 'msg t -> bool
+(** Deliver one message; [false] at quiescence. *)
+
+exception Budget_exhausted of int
+
+val run : ?max_steps:int -> 'msg t -> int
+(** Deliver until quiescent; returns the number of deliveries.
+    @raise Budget_exhausted after [max_steps] deliveries. *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** lost to failure injection *)
+  bytes : int;
+  channels : ((peer_id * peer_id) * int) list;  (** messages per channel *)
+}
+
+val stats : 'msg t -> stats
+
+val delivery_trace : 'msg t -> (peer_id * peer_id * string) list
+(** In delivery order; empty unless tracing was enabled. *)

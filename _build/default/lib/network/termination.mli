@@ -1,0 +1,42 @@
+(** Dijkstra–Scholten termination detection for diffusing computations.
+
+    The paper notes that detecting the distributed fixpoint needs "standard
+    termination detection algorithms for distributed computing". Here:
+    every work message is acknowledged; a peer's first work message makes
+    the sender its parent in a spanning tree and the parent's ack is
+    withheld until the peer has no outstanding messages; the root's deficit
+    reaching zero signals global termination. *)
+
+type peer_id = Sim.peer_id
+
+type 'm wrapped =
+  | Work of 'm
+  | Ack
+
+type 'm t
+
+val create : root:peer_id -> unit -> 'm t
+val on_termination : 'm t -> (unit -> unit) -> unit
+val is_terminated : 'm t -> bool
+
+val send_work : 'm t -> 'm wrapped Sim.t -> src:peer_id -> dst:peer_id -> 'm -> unit
+(** Send a work message with deficit tracking; what the handler's [send]
+    does. Exposed for engines that route sends themselves. *)
+
+val add_peer :
+  'm t ->
+  'm wrapped Sim.t ->
+  peer_id ->
+  handler:(send:(dst:peer_id -> 'm -> unit) -> src:peer_id -> 'm -> unit) ->
+  unit
+(** Register a peer; its handler sends further work through [send] so that
+    deficits are tracked. *)
+
+val add_root :
+  'm t ->
+  'm wrapped Sim.t ->
+  handler:(send:(dst:peer_id -> 'm -> unit) -> src:peer_id -> 'm -> unit) ->
+  unit
+
+val start : 'm t -> 'm wrapped Sim.t -> dst:peer_id -> 'm -> unit
+(** Inject the initial work from the root. *)

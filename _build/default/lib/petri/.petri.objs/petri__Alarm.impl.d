@@ -1,0 +1,1 @@
+lib/petri/alarm.ml: Format List String

@@ -1,0 +1,1 @@
+lib/petri/alarm.mli: Format

@@ -1,0 +1,1 @@
+lib/petri/dot.ml: Format List Net String Unfolding

@@ -1,0 +1,1 @@
+lib/petri/dot.mli: Format Net Unfolding

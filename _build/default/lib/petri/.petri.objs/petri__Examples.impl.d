@@ -1,0 +1,1 @@
+lib/petri/examples.ml: Alarm Fun List Net Printf

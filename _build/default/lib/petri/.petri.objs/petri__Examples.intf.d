@@ -1,0 +1,1 @@
+lib/petri/examples.mli: Alarm Net

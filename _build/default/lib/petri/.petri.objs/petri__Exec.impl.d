@@ -1,0 +1,1 @@
+lib/petri/exec.ml: Hashtbl List Net Printf Queue Random String

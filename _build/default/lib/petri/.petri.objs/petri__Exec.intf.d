@@ -1,0 +1,1 @@
+lib/petri/exec.mli: Net Random

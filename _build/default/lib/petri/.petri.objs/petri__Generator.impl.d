@@ -1,0 +1,1 @@
+lib/petri/generator.ml: Alarm Exec Fun List Net Printf Random String

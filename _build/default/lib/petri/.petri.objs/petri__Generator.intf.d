@@ -1,0 +1,1 @@
+lib/petri/generator.mli: Alarm Net Random

@@ -1,0 +1,1 @@
+lib/petri/net.ml: Format List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/petri/net.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/petri/parse.ml: Alarm Buffer Format List Net Printf String

@@ -1,0 +1,1 @@
+lib/petri/parse.mli: Alarm Net

@@ -1,0 +1,1 @@
+lib/petri/unfolding.ml: Hashtbl Int List Net Option Printf Set String

@@ -1,0 +1,1 @@
+lib/petri/unfolding.mli: Net Set

@@ -1,0 +1,39 @@
+(** Alarm sequences observed by the supervisor.
+
+    An alarm is a pair [(a, p)] of an alarm symbol and the peer that emitted
+    it. The supervisor receives an interleaving that preserves each peer's
+    emission order but carries no cross-peer ordering guarantee. *)
+
+type alarm = { symbol : string; peer : string }
+
+type t = alarm list
+
+let make l = List.map (fun (symbol, peer) -> { symbol; peer }) l
+let to_pairs (t : t) = List.map (fun a -> (a.symbol, a.peer)) t
+let length = List.length
+
+let peers (t : t) =
+  List.sort_uniq String.compare (List.map (fun a -> a.peer) t)
+
+(** Restriction of the sequence to one peer, preserving order (the
+    subsequence [A_p] of Section 4.2). *)
+let restrict (t : t) peer = List.filter (fun a -> String.equal a.peer peer) t
+
+(** Per-peer subsequences as an association list, in order of first
+    appearance of each peer. *)
+let split (t : t) : (string * alarm list) list =
+  List.map (fun p -> (p, restrict t p)) (peers t)
+
+(** Two alarm sequences are observation-equivalent iff they have the same
+    per-peer subsequences — the supervisor cannot distinguish them, and the
+    paper's diagnosis output is invariant under this equivalence. *)
+let equivalent (a : t) (b : t) =
+  let norm t = List.sort compare (split t) in
+  norm a = norm b
+
+let pp_alarm ppf a = Format.fprintf ppf "(%s, %s)" a.symbol a.peer
+
+let pp ppf (t : t) =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_alarm ppf t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,27 @@
+(** Alarm sequences observed by the supervisor.
+
+    An alarm is a pair [(symbol, peer)]. The supervisor receives an
+    interleaving that preserves each peer's emission order but carries no
+    cross-peer ordering guarantee. *)
+
+type alarm = { symbol : string; peer : string }
+type t = alarm list
+
+val make : (string * string) list -> t
+val to_pairs : t -> (string * string) list
+val length : t -> int
+val peers : t -> string list
+
+val restrict : t -> string -> alarm list
+(** The subsequence [A_p] of one peer, in order (Section 4.2). *)
+
+val split : t -> (string * alarm list) list
+(** Per-peer subsequences, keyed by peer, sorted by peer name. *)
+
+val equivalent : t -> t -> bool
+(** Same per-peer subsequences: the supervisor cannot distinguish them and
+    diagnosis is invariant across them. *)
+
+val pp_alarm : Format.formatter -> alarm -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

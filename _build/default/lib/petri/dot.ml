@@ -1,0 +1,57 @@
+(** Graphviz (DOT) export of nets and unfoldings, for the human supervisor:
+    the paper notes the diagnosis set "will have to be 'explained' to a human
+    supervisor and represented (preferably graphically) in a compact form". *)
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let net ppf (n : Net.t) =
+  Format.fprintf ppf "digraph net {@\n  rankdir=TB;@\n";
+  List.iter
+    (fun p ->
+      let marked = Net.String_set.mem p.Net.p_id (Net.marking n) in
+      Format.fprintf ppf
+        "  \"%s\" [shape=circle,label=\"%s\\n@%s\"%s];@\n"
+        (escape p.Net.p_id) (escape p.Net.p_id) (escape p.Net.p_peer)
+        (if marked then ",style=bold,penwidth=3" else ""))
+    (Net.places n);
+  List.iter
+    (fun t ->
+      Format.fprintf ppf
+        "  \"%s\" [shape=box,label=\"%s : %s\\n@%s\"];@\n"
+        (escape t.Net.t_id) (escape t.Net.t_id) (escape t.Net.t_alarm) (escape t.Net.t_peer);
+      List.iter
+        (fun p -> Format.fprintf ppf "  \"%s\" -> \"%s\";@\n" (escape p) (escape t.Net.t_id))
+        t.Net.t_pre;
+      List.iter
+        (fun p -> Format.fprintf ppf "  \"%s\" -> \"%s\";@\n" (escape t.Net.t_id) (escape p))
+        t.Net.t_post)
+    (Net.transitions n);
+  Format.fprintf ppf "}@\n"
+
+(** Export an unfolding prefix; events in [highlight] (e.g. a diagnosis
+    configuration, like the shading of Fig. 2) are filled. *)
+let unfolding ?(highlight = Unfolding.Int_set.empty) ppf (u : Unfolding.t) =
+  Format.fprintf ppf "digraph unfolding {@\n  rankdir=TB;@\n";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  c%d [shape=circle,label=\"%s\"];@\n" c.Unfolding.c_id
+        (escape c.Unfolding.c_place))
+    (Unfolding.conds u);
+  List.iter
+    (fun e ->
+      let tr = Net.transition (Unfolding.net u) e.Unfolding.e_trans in
+      let hl = Unfolding.Int_set.mem e.Unfolding.e_id highlight in
+      Format.fprintf ppf "  e%d [shape=box,label=\"%s : %s\"%s];@\n" e.Unfolding.e_id
+        (escape e.Unfolding.e_trans) (escape tr.Net.t_alarm)
+        (if hl then ",style=filled,fillcolor=gray80" else "");
+      List.iter
+        (fun c -> Format.fprintf ppf "  c%d -> e%d;@\n" c e.Unfolding.e_id)
+        e.Unfolding.e_pre;
+      List.iter
+        (fun c -> Format.fprintf ppf "  e%d -> c%d;@\n" e.Unfolding.e_id c)
+        e.Unfolding.e_post)
+    (Unfolding.events u);
+  Format.fprintf ppf "}@\n"
+
+let net_to_string n = Format.asprintf "%a" net n
+let unfolding_to_string ?highlight u = Format.asprintf "%a" (unfolding ?highlight) u

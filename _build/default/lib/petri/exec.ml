@@ -1,0 +1,127 @@
+(** Token-game semantics: enabled transitions, firing, executions, and the
+    safety check.
+
+    An execution of a Petri net is a sequence of firings; each firing emits
+    the alarm [(alpha(t), phi(t))] to the supervisor. *)
+
+module String_set = Net.String_set
+
+type marking = String_set.t
+
+let initial (net : Net.t) : marking = Net.marking net
+
+let is_enabled (net : Net.t) (m : marking) (tid : string) =
+  let tr = Net.transition net tid in
+  List.for_all (fun p -> String_set.mem p m) tr.Net.t_pre
+
+let enabled (net : Net.t) (m : marking) : string list =
+  List.filter_map
+    (fun tr -> if is_enabled net m tr.Net.t_id then Some tr.Net.t_id else None)
+    (Net.transitions net)
+
+exception Not_enabled of string
+exception Unsafe of string
+
+(** Fire [tid]; raises [Unsafe] if the firing would mark an already marked
+    place (the paper assumes safe nets: [M ∩ t• = ∅] whenever [t] is
+    enabled). *)
+let fire (net : Net.t) (m : marking) (tid : string) : marking =
+  let tr = Net.transition net tid in
+  if not (is_enabled net m tid) then raise (Not_enabled tid);
+  let m' = List.fold_left (fun acc p -> String_set.remove p acc) m tr.Net.t_pre in
+  List.fold_left
+    (fun acc p ->
+      if String_set.mem p acc then
+        raise (Unsafe (Printf.sprintf "firing %s would double-mark place %s" tid p))
+      else String_set.add p acc)
+    m' tr.Net.t_post
+
+(** Fire a sequence of transitions from the initial marking; returns the
+    final marking and the emitted alarm sequence. *)
+let run (net : Net.t) (tids : string list) : marking * (string * string) list =
+  List.fold_left
+    (fun (m, alarms) tid ->
+      let tr = Net.transition net tid in
+      (fire net m tid, alarms @ [ (tr.Net.t_alarm, tr.Net.t_peer) ]))
+    (initial net, [])
+    tids
+
+(** Explore reachable markings (BFS) up to [max_states]; returns the set of
+    reachable markings, or raises [Unsafe] if an unsafe firing is found.
+    Useful both as the safety check and for small-net sanity tests. *)
+let reachable ?(max_states = 100_000) (net : Net.t) : marking list =
+  let seen = Hashtbl.create 256 in
+  let key m = String.concat "," (String_set.elements m) in
+  let queue = Queue.create () in
+  let m0 = initial net in
+  Hashtbl.add seen (key m0) ();
+  Queue.add m0 queue;
+  let out = ref [ m0 ] in
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    List.iter
+      (fun tid ->
+        let m' = fire net m tid in
+        let k = key m' in
+        if not (Hashtbl.mem seen k) then begin
+          if Hashtbl.length seen >= max_states then
+            raise (Unsafe "state space exceeds max_states (net may be unbounded)");
+          Hashtbl.add seen k ();
+          Queue.add m' queue;
+          out := m' :: !out
+        end)
+      (enabled net m)
+  done;
+  !out
+
+(** Check that the net is safe (1-bounded) by exhaustive exploration. *)
+let is_safe ?max_states (net : Net.t) : bool =
+  match reachable ?max_states net with _ -> true | exception Unsafe _ -> false
+
+(** A random execution of at most [steps] firings, using the given random
+    state; returns the fired transitions in order. *)
+let random_execution ~rng ~steps (net : Net.t) : string list =
+  let rec go m n acc =
+    if n = 0 then List.rev acc
+    else
+      match enabled net m with
+      | [] -> List.rev acc
+      | choices ->
+        let tid = List.nth choices (Random.State.int rng (List.length choices)) in
+        go (fire net m tid) (n - 1) (tid :: acc)
+  in
+  go (initial net) steps []
+
+(** The alarm sequence emitted by an execution. *)
+let alarms_of_execution (net : Net.t) (tids : string list) : (string * string) list =
+  List.map
+    (fun tid ->
+      let tr = Net.transition net tid in
+      (tr.Net.t_alarm, tr.Net.t_peer))
+    tids
+
+(** Reorder an alarm sequence by an arbitrary interleaving that preserves the
+    per-peer order — modelling the asynchronous channels between the peers
+    and the supervisor ("we can only assume that for each individual peer the
+    relative order of its alarms in the sequence respects the order in which
+    they were sent"). *)
+let async_shuffle ~rng (alarms : (string * string) list) : (string * string) list =
+  (* Split by peer, then repeatedly pick a random nonempty peer queue. *)
+  let by_peer = Hashtbl.create 8 in
+  let peers = ref [] in
+  List.iter
+    (fun (a, p) ->
+      if not (Hashtbl.mem by_peer p) then begin
+        Hashtbl.add by_peer p (Queue.create ());
+        peers := !peers @ [ p ]
+      end;
+      Queue.add (a, p) (Hashtbl.find by_peer p))
+    alarms;
+  let total = List.length alarms in
+  let out = ref [] in
+  for _ = 1 to total do
+    let nonempty = List.filter (fun p -> not (Queue.is_empty (Hashtbl.find by_peer p))) !peers in
+    let p = List.nth nonempty (Random.State.int rng (List.length nonempty)) in
+    out := Queue.pop (Hashtbl.find by_peer p) :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,40 @@
+(** Token-game semantics: enabled transitions, firing, executions, safety.
+
+    Each firing emits the alarm [(alpha(t), phi(t))] towards the
+    supervisor. *)
+
+module String_set = Net.String_set
+
+type marking = String_set.t
+
+val initial : Net.t -> marking
+val is_enabled : Net.t -> marking -> string -> bool
+val enabled : Net.t -> marking -> string list
+
+exception Not_enabled of string
+exception Unsafe of string
+
+val fire : Net.t -> marking -> string -> marking
+(** @raise Not_enabled if the preset is not marked.
+    @raise Unsafe if a postset place is already marked (the paper assumes
+    safe nets). *)
+
+val run : Net.t -> string list -> marking * (string * string) list
+(** Fire a sequence from the initial marking; returns the final marking and
+    the emitted [(alarm, peer)] sequence. *)
+
+val reachable : ?max_states:int -> Net.t -> marking list
+(** BFS over reachable markings. @raise Unsafe on an unsafe firing or when
+    [max_states] is exceeded. *)
+
+val is_safe : ?max_states:int -> Net.t -> bool
+(** Exhaustive 1-boundedness check. *)
+
+val random_execution : rng:Random.State.t -> steps:int -> Net.t -> string list
+(** A random execution of at most [steps] firings. *)
+
+val alarms_of_execution : Net.t -> string list -> (string * string) list
+
+val async_shuffle : rng:Random.State.t -> (string * string) list -> (string * string) list
+(** Re-interleave an alarm sequence preserving each peer's order — the
+    effect of the asynchronous channels to the supervisor. *)

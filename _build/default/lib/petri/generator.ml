@@ -1,0 +1,85 @@
+(** Random distributed safe Petri nets, for property tests and benchmarks.
+
+    The construction guarantees safety: the net is a union of one-token
+    state-machine components (each place set holds exactly one token, every
+    transition consumes and produces exactly one place per component it
+    touches), optionally synchronized pairwise across components. Each
+    component lives on one peer; synchronizing transitions realize the
+    cross-peer dependencies ("the execution in one peer may depend on the
+    execution at some other peers"). Every transition has one or two parent
+    places, matching the assumption of the Datalog encoding after
+    {!Net.binarize}. *)
+
+type spec = {
+  peers : int;  (** number of peers *)
+  components_per_peer : int;
+  places_per_component : int;  (** >= 2 *)
+  local_transitions : int;  (** per component *)
+  sync_transitions : int;  (** across random component pairs *)
+  alarm_symbols : int;  (** alphabet size; small = ambiguous diagnoses *)
+}
+
+let default_spec =
+  {
+    peers = 2;
+    components_per_peer = 2;
+    places_per_component = 3;
+    local_transitions = 3;
+    sync_transitions = 2;
+    alarm_symbols = 3;
+  }
+
+let generate ~rng (spec : spec) : Net.t =
+  let n_comp = spec.peers * spec.components_per_peer in
+  let peer_of_comp c = Printf.sprintf "p%d" (c mod spec.peers) in
+  let place c i = Printf.sprintf "s%d_%d" c i in
+  let alarm () = Printf.sprintf "a%d" (Random.State.int rng (max 1 spec.alarm_symbols)) in
+  let places =
+    List.concat_map
+      (fun c ->
+        List.init spec.places_per_component (fun i ->
+            Net.mk_place ~peer:(peer_of_comp c) (place c i)))
+      (List.init n_comp Fun.id)
+  in
+  let tid = ref 0 in
+  let fresh_tid () =
+    incr tid;
+    Printf.sprintf "t%d" !tid
+  in
+  let rand_place c = place c (Random.State.int rng spec.places_per_component) in
+  let rec distinct_pair c =
+    let a = rand_place c and b = rand_place c in
+    if String.equal a b then distinct_pair c else (a, b)
+  in
+  let local_transitions =
+    List.concat_map
+      (fun c ->
+        List.init spec.local_transitions (fun _ ->
+            let src, dst = distinct_pair c in
+            Net.mk_transition ~peer:(peer_of_comp c) ~alarm:(alarm ()) ~pre:[ src ]
+              ~post:[ dst ] (fresh_tid ())))
+      (List.init n_comp Fun.id)
+  in
+  let sync_transitions =
+    if n_comp < 2 then []
+    else
+      List.init spec.sync_transitions (fun _ ->
+          let c1 = Random.State.int rng n_comp in
+          let c2 = (c1 + 1 + Random.State.int rng (n_comp - 1)) mod n_comp in
+          let s1, d1 = distinct_pair c1 in
+          let s2, d2 = distinct_pair c2 in
+          Net.mk_transition ~peer:(peer_of_comp c1) ~alarm:(alarm ()) ~pre:[ s1; s2 ]
+            ~post:[ d1; d2 ] (fresh_tid ()))
+  in
+  let marking = List.init n_comp (fun c -> place c 0) in
+  Net.make ~places ~transitions:(local_transitions @ sync_transitions) ~marking
+
+(** A random diagnosis scenario: execute the net for [steps] firings, then
+    deliver the emitted alarms to the supervisor through asynchronous
+    channels (an interleaving preserving per-peer order). Returns the fired
+    transitions (ground truth) and the observed alarm sequence. *)
+let scenario ~rng ~steps (net : Net.t) : string list * Alarm.t =
+  let firing = Exec.random_execution ~rng ~steps net in
+  let alarms = Exec.alarms_of_execution net firing in
+  let observed = Exec.async_shuffle ~rng alarms in
+  (firing, Alarm.make observed)

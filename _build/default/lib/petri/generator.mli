@@ -1,0 +1,24 @@
+(** Random distributed safe Petri nets, for property tests and benchmarks.
+
+    Nets are unions of one-token state-machine components, optionally
+    synchronized pairwise across components — safe by construction, with
+    one- or two-parent transitions only (matching the encoding's assumption
+    after {!Net.binarize}). *)
+
+type spec = {
+  peers : int;
+  components_per_peer : int;
+  places_per_component : int;  (** at least 2 *)
+  local_transitions : int;  (** per component *)
+  sync_transitions : int;  (** across random component pairs *)
+  alarm_symbols : int;  (** small alphabets make diagnoses ambiguous *)
+}
+
+val default_spec : spec
+
+val generate : rng:Random.State.t -> spec -> Net.t
+
+val scenario : rng:Random.State.t -> steps:int -> Net.t -> string list * Alarm.t
+(** Execute the net randomly for [steps] firings and deliver the emitted
+    alarms through asynchronous channels. Returns (ground-truth firing
+    sequence, observed alarm sequence). *)

@@ -1,0 +1,104 @@
+(** Textual format for distributed Petri nets.
+
+    Line-based; [#] starts a comment. Example:
+    {v
+      # the running example
+      place 1 @p1 marked
+      place 2 @p1
+      trans i @p1 alarm b pre 1 7 post 2 3
+      alarms (b,p1) (a,p2) (c,p1)
+    v}
+    The optional [alarms] line attaches an observed alarm sequence. *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type file = { net : Net.t; alarms : Alarm.t option }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let parse_peer w =
+  if String.length w > 1 && w.[0] = '@' then String.sub w 1 (String.length w - 1)
+  else fail "expected @peer, got %s" w
+
+(* split "pre p1 p2 post q1 q2" into the pre and post id lists *)
+let parse_pre_post ws =
+  let rec go mode pre post = function
+    | [] -> (List.rev pre, List.rev post)
+    | "pre" :: rest -> go `Pre pre post rest
+    | "post" :: rest -> go `Post pre post rest
+    | w :: rest -> (
+      match mode with
+      | `Pre -> go mode (w :: pre) post rest
+      | `Post -> go mode pre (w :: post) rest
+      | `None -> fail "expected 'pre' or 'post', got %s" w)
+  in
+  go `None [] [] ws
+
+let parse_alarm w =
+  (* "(b,p1)" *)
+  let n = String.length w in
+  if n < 5 || w.[0] <> '(' || w.[n - 1] <> ')' then fail "bad alarm %s" w
+  else
+    match String.split_on_char ',' (String.sub w 1 (n - 2)) with
+    | [ a; p ] -> (String.trim a, String.trim p)
+    | _ -> fail "bad alarm %s" w
+
+let parse (s : string) : file =
+  let places = ref [] and transitions = ref [] and marking = ref [] in
+  let alarms = ref None in
+  let handle_line line =
+    match words (strip_comment line) with
+    | [] -> ()
+    | "place" :: id :: peer :: rest ->
+      let peer = parse_peer peer in
+      places := Net.mk_place ~peer id :: !places;
+      (match rest with
+      | [] -> ()
+      | [ "marked" ] -> marking := id :: !marking
+      | w :: _ -> fail "unexpected token %s after place %s" w id)
+    | "trans" :: id :: peer :: "alarm" :: alarm :: rest ->
+      let peer = parse_peer peer in
+      let pre, post = parse_pre_post rest in
+      transitions := Net.mk_transition ~peer ~alarm ~pre ~post id :: !transitions
+    | "alarms" :: rest -> alarms := Some (Alarm.make (List.map parse_alarm rest))
+    | w :: _ -> fail "unexpected directive %s" w
+  in
+  List.iter handle_line (String.split_on_char '\n' s);
+  let net =
+    try
+      Net.make ~places:(List.rev !places) ~transitions:(List.rev !transitions)
+        ~marking:(List.rev !marking)
+    with Net.Ill_formed m -> fail "%s" m
+  in
+  { net; alarms = !alarms }
+
+let print (f : file) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "place %s @%s%s\n" p.Net.p_id p.Net.p_peer
+           (if Net.String_set.mem p.Net.p_id (Net.marking f.net) then " marked" else "")))
+    (Net.places f.net);
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "trans %s @%s alarm %s pre %s post %s\n" t.Net.t_id t.Net.t_peer
+           t.Net.t_alarm (String.concat " " t.Net.t_pre) (String.concat " " t.Net.t_post)))
+    (Net.transitions f.net);
+  (match f.alarms with
+  | None -> ()
+  | Some a ->
+    Buffer.add_string buf
+      (Printf.sprintf "alarms %s\n"
+         (String.concat " "
+            (List.map (fun (s, p) -> Printf.sprintf "(%s,%s)" s p) (Alarm.to_pairs a)))));
+  Buffer.contents buf

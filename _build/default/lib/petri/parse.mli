@@ -1,0 +1,19 @@
+(** Textual format for distributed Petri nets.
+
+    Line-based; [#] starts a comment:
+    {v
+      place 1 @p1 marked
+      trans i @p1 alarm b pre 1 7 post 2 3
+      alarms (b,p1) (a,p2) (c,p1)
+    v}
+    The optional [alarms] line attaches an observed sequence. *)
+
+exception Parse_error of string
+
+type file = { net : Net.t; alarms : Alarm.t option }
+
+val parse : string -> file
+(** @raise Parse_error on malformed input or ill-formed nets. *)
+
+val print : file -> string
+(** Inverse of {!parse} up to comments and blank lines. *)

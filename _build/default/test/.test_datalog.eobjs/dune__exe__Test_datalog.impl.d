@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Atom Datalog Eval Fact_store List Magic Parser Printf Program QCheck QCheck_alcotest Qsq Result Rule String Subst Symbol Term Unify

@@ -1,0 +1,1 @@
+test/test_diagnosis.ml: Alcotest Canon Datalog Diagnoser Diagnosis List Network Petri Printf Product QCheck QCheck_alcotest Random Reference Term

@@ -1,0 +1,1 @@
+test/test_dqsq.ml: Alcotest Atom Datalog Datom Dprogram Dqsq Drule Eval Fact_store Fun List Naive_engine Network Printf Program QCheck QCheck_alcotest Qsq Qsq_engine Random Rule String Term

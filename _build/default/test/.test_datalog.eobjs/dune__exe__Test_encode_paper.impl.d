@@ -1,0 +1,1 @@
+test/test_encode_paper.ml: Alcotest Canon Datalog Diagnoser Diagnosis List Petri Printf Product QCheck QCheck_alcotest Random Reference Term

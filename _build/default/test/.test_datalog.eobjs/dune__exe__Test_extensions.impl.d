@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Canon Datalog Diagnoser Diagnosis Eval List Network Pattern Petri Printf Product QCheck QCheck_alcotest Random Reference String Supervisor

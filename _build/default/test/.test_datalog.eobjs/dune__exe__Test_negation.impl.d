@@ -1,0 +1,1 @@
+test/test_negation.ml: Alcotest Atom Datalog Diagnoser Diagnosis Dqsq Encode_negation Eval Fact_store List Magic Parser Petri Printf Program QCheck QCheck_alcotest Qsq Random Result Rule String Term

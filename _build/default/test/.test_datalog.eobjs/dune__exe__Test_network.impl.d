@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest List Network Printf Sim Termination

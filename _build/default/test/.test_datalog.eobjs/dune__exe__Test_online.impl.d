@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Canon Datalog Diagnoser Diagnosis List Online Petri Printf Product QCheck QCheck_alcotest Random Report String Term

@@ -1,0 +1,1 @@
+test/test_petri.ml: Alarm Alcotest Dot Examples Exec Generator Hashtbl List Net Option Parse Petri Printf QCheck QCheck_alcotest Random String Unfolding

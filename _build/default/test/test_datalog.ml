@@ -1,0 +1,432 @@
+(* Unit and property tests for the centralized Datalog engine:
+   terms, unification, parser, naive/semi-naive evaluation, QSQ and magic. *)
+
+open Datalog
+
+let term = Alcotest.testable Term.pp Term.equal
+let atom = Alcotest.testable Atom.pp Atom.equal
+
+let sorted_answers answers = List.sort_uniq String.compare (List.map Atom.to_string answers)
+
+(* ------------------------------------------------------------------ *)
+(* Terms and unification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_term_basics () =
+  let t = Term.app "f" [ Term.const "a"; Term.Var "X" ] in
+  Alcotest.(check bool) "not ground" false (Term.is_ground t);
+  Alcotest.(check int) "depth" 2 (Term.depth t);
+  Alcotest.(check int) "size" 3 (Term.size t);
+  Alcotest.(check (list string)) "vars" [ "X" ] (Term.vars t);
+  Alcotest.(check string) "print" "f(a, X)" (Term.to_string t)
+
+let test_unify_simple () =
+  let x = Term.Var "X" and a = Term.const "a" in
+  (match Unify.unify x a with
+  | Some s -> Alcotest.check term "X bound to a" a (Subst.apply s x)
+  | None -> Alcotest.fail "should unify");
+  (match Unify.unify (Term.app "f" [ x; Term.const "b" ]) (Term.app "f" [ a; Term.Var "Y" ]) with
+  | Some s ->
+    Alcotest.check term "X=a" a (Subst.apply s x);
+    Alcotest.check term "Y=b" (Term.const "b") (Subst.apply s (Term.Var "Y"))
+  | None -> Alcotest.fail "should unify");
+  Alcotest.(check bool)
+    "clash" true
+    (Unify.unify (Term.const "a") (Term.const "b") = None)
+
+let test_unify_occurs () =
+  let x = Term.Var "X" in
+  Alcotest.(check bool)
+    "occurs check" true
+    (Unify.unify x (Term.app "f" [ x ]) = None)
+
+let test_unify_nested () =
+  (* Unifying a demand g(u, c1) against a head g(X, c1) binds X. *)
+  let demand = Term.app "g" [ Term.app "f" [ Term.const "i" ]; Term.const "c1" ] in
+  let head = Term.app "g" [ Term.Var "X"; Term.const "c1" ] in
+  match Unify.unify head demand with
+  | Some s ->
+    Alcotest.check term "X = f(i)" (Term.app "f" [ Term.const "i" ]) (Subst.apply s (Term.Var "X"))
+  | None -> Alcotest.fail "should unify"
+
+(* qcheck generators for ground-ish terms *)
+let gen_term : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 1 then
+        oneof
+          [ map (fun i -> Term.const (Printf.sprintf "c%d" (abs i mod 5))) small_int;
+            map (fun i -> Term.Var (Printf.sprintf "V%d" (abs i mod 4))) small_int ]
+      else
+        frequency
+          [ (2, map (fun i -> Term.const (Printf.sprintf "c%d" (abs i mod 5))) small_int);
+            (2, map (fun i -> Term.Var (Printf.sprintf "V%d" (abs i mod 4))) small_int);
+            ( 3,
+              map2
+                (fun f args -> Term.capp (Symbol.intern (Printf.sprintf "f%d" (abs f mod 3))) args)
+                small_int
+                (list_size (1 -- 3) (self (n / 2))) ) ])
+
+let arb_term = QCheck.make ~print:Term.to_string gen_term
+
+let prop_unify_is_unifier =
+  QCheck.Test.make ~count:500 ~name:"mgu unifies its arguments"
+    (QCheck.pair arb_term arb_term) (fun (a, b) ->
+      match Unify.unify a b with
+      | None -> true
+      | Some s -> Term.equal (Subst.apply s a) (Subst.apply s b))
+
+let prop_unify_idempotent =
+  QCheck.Test.make ~count:500 ~name:"mgu substitution is idempotent"
+    (QCheck.pair arb_term arb_term) (fun (a, b) ->
+      match Unify.unify a b with
+      | None -> true
+      | Some s ->
+        let once = Subst.apply s a in
+        Term.equal once (Subst.apply s once))
+
+let prop_match_is_unify_on_ground =
+  QCheck.Test.make ~count:500 ~name:"matching agrees with unification when target ground"
+    (QCheck.pair arb_term arb_term) (fun (pat, target) ->
+      QCheck.assume (Term.is_ground target);
+      let m = Unify.match_term pat target in
+      let u = Unify.unify pat target in
+      match m, u with
+      | None, None -> true
+      | Some s, Some _ -> Term.equal (Subst.apply s pat) target
+      | Some _, None -> false
+      | None, Some s ->
+        (* matching may fail where unification succeeds only if the pattern
+           needs its own variables instantiated inconsistently; for ground
+           targets they must agree. *)
+        not (Term.equal (Subst.apply s pat) target))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_program () =
+  let p =
+    Parser.parse_program
+      {| % a comment
+         tc(X, Y) :- edge(X, Y).
+         tc(X, Z) :- edge(X, Y), tc(Y, Z), X != Z.
+         edge(a, b). edge(b, c). |}
+  in
+  Alcotest.(check int) "4 rules" 4 (Program.size p);
+  let edbs = List.map Symbol.name (Program.edb_relations p) in
+  Alcotest.(check (list string)) "no edb (edge defined by facts)" [] edbs;
+  let r = List.nth (Program.rules p) 1 in
+  Alcotest.(check string)
+    "roundtrip" "tc(X, Z) :- edge(X, Y), tc(Y, Z), X != Z." (Rule.to_string r)
+
+let test_parse_terms () =
+  let a = Parser.parse_atom {| q(f(X, "lit"), c1) |} in
+  Alcotest.check atom "atom"
+    (Atom.make "q" [ Term.app "f" [ Term.Var "X"; Term.const "lit" ]; Term.const "c1" ])
+    a
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse_program s with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing dot" true (fails "p(X) :- q(X)");
+  Alcotest.(check bool) "unterminated string" true (fails {| p("x). |});
+  Alcotest.(check bool) "bad char" true (fails "p(X) :- q(X) & r(X).")
+
+let test_range_restriction () =
+  let p = Parser.parse_program "p(X, Y) :- q(X)." in
+  (match Program.check_range_restricted p with
+  | Error (_, x) -> Alcotest.(check string) "offending var" "Y" x
+  | Ok () -> Alcotest.fail "should be rejected");
+  let p2 = Parser.parse_program "p(X) :- q(X), X != Y." in
+  Alcotest.(check bool) "neq var unbound" false
+    (Result.is_ok (Program.check_range_restricted p2))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tc_program =
+  {| tc(X, Y) :- edge(X, Y).
+     tc(X, Z) :- edge(X, Y), tc(Y, Z). |}
+
+let chain_edb n =
+  let store = Fact_store.create () in
+  for i = 0 to n - 1 do
+    ignore
+      (Fact_store.add store
+         (Atom.make "edge"
+            [ Term.const (Printf.sprintf "n%d" i); Term.const (Printf.sprintf "n%d" (i + 1)) ]))
+  done;
+  store
+
+let test_naive_tc () =
+  let p = Parser.parse_program tc_program in
+  let store = chain_edb 5 in
+  let res = Eval.naive p store in
+  Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
+  Alcotest.(check int) "tc facts" 15 (Fact_store.count_rel store (Symbol.intern "tc"))
+
+let test_seminaive_tc () =
+  let p = Parser.parse_program tc_program in
+  let store = chain_edb 5 in
+  let res = Eval.seminaive p store in
+  Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
+  Alcotest.(check int) "tc facts" 15 (Fact_store.count_rel store (Symbol.intern "tc"))
+
+let test_seminaive_fewer_derivations () =
+  let p = Parser.parse_program tc_program in
+  let s1 = chain_edb 30 and s2 = chain_edb 30 in
+  let r_naive = Eval.naive p s1 in
+  let r_semi = Eval.seminaive p s2 in
+  Alcotest.(check bool) "same facts" true
+    (Fact_store.to_sorted_strings s1 = Fact_store.to_sorted_strings s2);
+  Alcotest.(check bool)
+    (Printf.sprintf "semi-naive fires fewer rules (%d < %d)"
+       r_semi.Eval.stats.Eval.derivations r_naive.Eval.stats.Eval.derivations)
+    true
+    (r_semi.Eval.stats.Eval.derivations < r_naive.Eval.stats.Eval.derivations)
+
+let test_neq_semantics () =
+  let p =
+    Parser.parse_program
+      {| sib(X, Y) :- parent(X, P), parent(Y, P), X != Y.
+         parent(a, p). parent(b, p). parent(c, q). |}
+  in
+  let store = Fact_store.create () in
+  ignore (Eval.seminaive p store);
+  let answers = Eval.answers store (Atom.make "sib" [ Term.Var "X"; Term.Var "Y" ]) in
+  Alcotest.(check (list string))
+    "siblings" [ "sib(a, b)"; "sib(b, a)" ] (sorted_answers answers)
+
+let test_function_symbols_depth_bound () =
+  (* count(s(X)) :- count(X) diverges; the depth bound clips it. *)
+  let p = Parser.parse_program {| count(z). count(s(X)) :- count(X). |} in
+  let store = Fact_store.create () in
+  let options = { Eval.default_options with Eval.max_depth = Some 5 } in
+  let res = Eval.seminaive ~options p store in
+  Alcotest.(check bool) "clipped" true (res.Eval.status = Eval.Depth_clipped);
+  Alcotest.(check int) "5 facts: z..s^4(z)" 5 (Fact_store.count store)
+
+let test_budget () =
+  let p = Parser.parse_program {| count(z). count(s(X)) :- count(X). |} in
+  let store = Fact_store.create () in
+  let options = { Eval.default_options with Eval.max_facts = Some 10 } in
+  let res = Eval.seminaive ~options p store in
+  Alcotest.(check bool) "budget" true (res.Eval.status = Eval.Budget_exhausted);
+  Alcotest.(check int) "10 facts" 10 (Fact_store.count store)
+
+(* random program generator: random edges, then compare strategies *)
+let gen_edges : (int * int) list QCheck.Gen.t =
+  QCheck.Gen.(list_size (5 -- 40) (pair (0 -- 12) (0 -- 12)))
+
+let arb_edges =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) l))
+    gen_edges
+
+let store_of_edges edges =
+  let store = Fact_store.create () in
+  List.iter
+    (fun (a, b) ->
+      ignore
+        (Fact_store.add store
+           (Atom.make "edge"
+              [ Term.const (Printf.sprintf "n%d" a); Term.const (Printf.sprintf "n%d" b) ])))
+    edges;
+  store
+
+let prop_naive_eq_seminaive =
+  QCheck.Test.make ~count:100 ~name:"naive == semi-naive on random graphs" arb_edges
+    (fun edges ->
+      let p =
+        Parser.parse_program
+          {| tc(X, Y) :- edge(X, Y).
+             tc(X, Z) :- tc(X, Y), tc(Y, Z).
+             peak(X) :- tc(X, Y), tc(Y, X), X != Y. |}
+      in
+      let s1 = store_of_edges edges and s2 = store_of_edges edges in
+      ignore (Eval.naive p s1);
+      ignore (Eval.seminaive p s2);
+      Fact_store.to_sorted_strings s1 = Fact_store.to_sorted_strings s2)
+
+(* ------------------------------------------------------------------ *)
+(* QSQ and magic                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_qsq_tc_answers () =
+  let p = Parser.parse_program tc_program in
+  let edb = chain_edb 8 in
+  let query = Atom.make "tc" [ Term.const "n0"; Term.Var "Y" ] in
+  let _, res, answers = Qsq.solve p query edb in
+  Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
+  Alcotest.(check int) "8 reachable" 8 (List.length answers)
+
+let test_qsq_materializes_less () =
+  (* Query tc(n0, Y) on a chain: naive materializes all O(n^2) tc facts,
+     QSQ only the n facts reachable from n0 plus auxiliaries. *)
+  let p = Parser.parse_program tc_program in
+  let n = 30 in
+  let edb = chain_edb n in
+  let query = Atom.make "tc" [ Term.const (Printf.sprintf "n%d" (n - 1)); Term.Var "Y" ] in
+  let store_naive = Fact_store.copy edb in
+  ignore (Eval.seminaive p store_naive);
+  let naive_tc = Fact_store.count_rel store_naive (Symbol.intern "tc") in
+  let store_qsq, _, answers = Qsq.solve p query edb in
+  let m = Qsq.materialization store_qsq in
+  Alcotest.(check int) "one answer" 1 (List.length answers);
+  Alcotest.(check bool)
+    (Printf.sprintf "QSQ answers (%d) << naive tc (%d)" m.Qsq.answer_facts naive_tc)
+    true
+    (m.Qsq.answer_facts < naive_tc / 5)
+
+let test_qsq_bound_query () =
+  let p = Parser.parse_program tc_program in
+  let edb = chain_edb 6 in
+  let q_yes = Atom.make "tc" [ Term.const "n0"; Term.const "n6" ] in
+  let q_no = Atom.make "tc" [ Term.const "n3"; Term.const "n0" ] in
+  let _, _, a_yes = Qsq.solve p q_yes edb in
+  let _, _, a_no = Qsq.solve p q_no edb in
+  Alcotest.(check int) "yes" 1 (List.length a_yes);
+  Alcotest.(check int) "no" 0 (List.length a_no)
+
+let test_qsq_same_generation () =
+  (* The classic non-linear same-generation program. *)
+  let p =
+    Parser.parse_program
+      {| sg(X, Y) :- flat(X, Y).
+         sg(X, Y) :- up(X, U), sg(U, V), down(V, Y). |}
+  in
+  let edb = Fact_store.create () in
+  let add r a b = ignore (Fact_store.add edb (Atom.make r [ Term.const a; Term.const b ])) in
+  add "up" "a" "e";
+  add "up" "a" "f";
+  add "flat" "e" "g";
+  add "flat" "f" "h";
+  add "down" "g" "b";
+  add "down" "h" "c";
+  let query = Atom.make "sg" [ Term.const "a"; Term.Var "Y" ] in
+  let _, _, answers = Qsq.solve p query edb in
+  Alcotest.(check (list string)) "sg answers" [ "sg(a, b)"; "sg(a, c)" ] (sorted_answers answers)
+
+let test_qsq_with_functions () =
+  (* Goal-directed evaluation terminates on a program whose naive semantics
+     is infinite: list membership over cons-terms. *)
+  let p =
+    Parser.parse_program
+      {| member(X, cons(X, T)) :- islist(cons(X, T)).
+         member(X, cons(H, T)) :- islist(cons(H, T)), member(X, T).
+         islist(T) :- islist(cons(H, T)). |}
+  in
+  let edb = Fact_store.create () in
+  let lst =
+    Term.app "cons"
+      [ Term.const "a"; Term.app "cons" [ Term.const "b"; Term.app "cons" [ Term.const "c"; Term.const "nil" ] ] ]
+  in
+  ignore (Fact_store.add edb (Atom.cmake (Symbol.intern "islist") [ lst ]));
+  let query = Atom.cmake (Symbol.intern "member") [ Term.Var "X"; lst ] in
+  let _, res, answers = Qsq.solve p query edb in
+  Alcotest.(check bool) "terminates" true (res.Eval.status = Eval.Fixpoint);
+  Alcotest.(check int) "3 members" 3 (List.length answers)
+
+let test_qsq_fig4_shape () =
+  (* Golden check against the paper's Figure 4: the rewriting of the
+     localized Fig. 3 program for R("1", Y) generates exactly the adorned,
+     input and supplementary relations the figure shows (plus one bridge
+     rule per adorned relation, our engineering addition). *)
+  let p =
+    Parser.parse_program
+      {| R(X, Y) :- A(X, Y).
+         R(X, Y) :- S(X, Z), T(Z, Y).
+         S(X, Y) :- R(X, Y), B(Y, Z).
+         T(X, Y) :- C(X, Y). |}
+  in
+  let rw = Qsq.rewrite p (Parser.parse_atom {| R("1", Y) |}) in
+  let heads =
+    List.sort_uniq String.compare
+      (List.map (fun r -> Symbol.name r.Rule.head.Atom.rel) (Program.rules rw.Qsq.program))
+  in
+  Alcotest.(check (list string))
+    "generated relations match Fig. 4"
+    [ "R^bf"; "S^bf"; "T^bf";
+      "in-R^bf"; "in-S^bf"; "in-T^bf";
+      "sup0,0^R^bf"; "sup0,0^S^bf"; "sup0,0^T^bf";
+      "sup0,1^R^bf"; "sup0,1^S^bf"; "sup0,1^T^bf";
+      "sup0,2^S^bf";
+      "sup1,0^R^bf"; "sup1,1^R^bf"; "sup1,2^R^bf" ]
+    (List.sort String.compare heads);
+  Alcotest.(check string) "seed fact" "in-R^bf(1)" (Atom.to_string rw.Qsq.seed)
+
+let test_magic_tc_answers () =
+  let p = Parser.parse_program tc_program in
+  let edb = chain_edb 8 in
+  let query = Atom.make "tc" [ Term.const "n0"; Term.Var "Y" ] in
+  let _, _, answers = Magic.solve p query edb in
+  Alcotest.(check int) "8 reachable" 8 (List.length answers)
+
+let random_query edges =
+  let n = List.length edges in
+  let src = Printf.sprintf "n%d" (match edges with (a, _) :: _ -> a | [] -> 0) in
+  ignore n;
+  Atom.make "tc" [ Term.const src; Term.Var "Y" ]
+
+let prop_qsq_eq_naive =
+  QCheck.Test.make ~count:100 ~name:"QSQ answers == naive answers (random graphs)" arb_edges
+    (fun edges ->
+      QCheck.assume (edges <> []);
+      let p = Parser.parse_program tc_program in
+      let query = random_query edges in
+      let edb = store_of_edges edges in
+      let store_naive = Fact_store.copy edb in
+      ignore (Eval.seminaive p store_naive);
+      let naive_answers = Eval.answers store_naive query in
+      let _, _, qsq_answers = Qsq.solve p query edb in
+      sorted_answers naive_answers = sorted_answers qsq_answers)
+
+let prop_magic_eq_qsq =
+  QCheck.Test.make ~count:100 ~name:"magic answers == QSQ answers (random graphs)" arb_edges
+    (fun edges ->
+      QCheck.assume (edges <> []);
+      let p = Parser.parse_program tc_program in
+      let query = random_query edges in
+      let edb = store_of_edges edges in
+      let _, _, magic_answers = Magic.solve p query edb in
+      let _, _, qsq_answers = Qsq.solve p query edb in
+      sorted_answers magic_answers = sorted_answers qsq_answers)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ ( "term-unify",
+      [ Alcotest.test_case "term basics" `Quick test_term_basics;
+        Alcotest.test_case "unify simple" `Quick test_unify_simple;
+        Alcotest.test_case "occurs check" `Quick test_unify_occurs;
+        Alcotest.test_case "unify nested" `Quick test_unify_nested ]
+      @ qcheck [ prop_unify_is_unifier; prop_unify_idempotent; prop_match_is_unify_on_ground ] );
+    ( "parser",
+      [ Alcotest.test_case "parse program" `Quick test_parse_program;
+        Alcotest.test_case "parse terms" `Quick test_parse_terms;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "range restriction" `Quick test_range_restriction ] );
+    ( "eval",
+      [ Alcotest.test_case "naive tc" `Quick test_naive_tc;
+        Alcotest.test_case "semi-naive tc" `Quick test_seminaive_tc;
+        Alcotest.test_case "semi-naive cheaper" `Quick test_seminaive_fewer_derivations;
+        Alcotest.test_case "neq semantics" `Quick test_neq_semantics;
+        Alcotest.test_case "depth bound" `Quick test_function_symbols_depth_bound;
+        Alcotest.test_case "fact budget" `Quick test_budget ]
+      @ qcheck [ prop_naive_eq_seminaive ] );
+    ( "qsq-magic",
+      [ Alcotest.test_case "qsq tc answers" `Quick test_qsq_tc_answers;
+        Alcotest.test_case "qsq materializes less" `Quick test_qsq_materializes_less;
+        Alcotest.test_case "qsq bound query" `Quick test_qsq_bound_query;
+        Alcotest.test_case "qsq same generation" `Quick test_qsq_same_generation;
+        Alcotest.test_case "qsq with functions" `Quick test_qsq_with_functions;
+        Alcotest.test_case "qsq Fig. 4 golden shape" `Quick test_qsq_fig4_shape;
+        Alcotest.test_case "magic tc answers" `Quick test_magic_tc_answers ]
+      @ qcheck [ prop_qsq_eq_naive; prop_magic_eq_qsq ] ) ]
+
+let () = Alcotest.run "datalog" suite

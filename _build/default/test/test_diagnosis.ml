@@ -1,0 +1,322 @@
+(* End-to-end diagnosis tests: reference enumerator vs product baseline [8]
+   vs the Datalog diagnoser (centralized QSQ and distributed dQSQ), on the
+   running example and on random nets/scenarios (Theorems 2, 3, 4). *)
+
+open Datalog
+open Diagnosis
+
+let rng seed = Random.State.make [| seed |]
+
+let running_net () = Petri.Net.binarize (Petri.Examples.running_example ())
+
+let alarms l = Petri.Alarm.make l
+
+let show d = Canon.diagnosis_to_string d
+
+let check_diag msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s\nexpected:\n%s\nactual:\n%s" msg (show expected) (show actual))
+    true
+    (Canon.equal_diagnosis expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* Reference and product on the running example                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_reference_running_example () =
+  let net = running_net () in
+  let r = Reference.diagnose net (alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ]) in
+  (* three explanations: (a,p2) can be ii or v, and (c,p1) can be iii or iv (iv needs ii) *)
+  Alcotest.(check int) "three configurations" 3 (List.length r.Reference.diagnosis);
+  let transitions = List.map Canon.config_transitions r.Reference.diagnosis in
+  Alcotest.(check (list (list string)))
+    "configs by transitions"
+    [ [ "i"; "ii"; "iii" ]; [ "i"; "ii"; "iv" ]; [ "i"; "iii"; "v" ] ]
+    (List.sort compare transitions)
+
+let test_reference_order_sensitivity () =
+  let net = running_net () in
+  (* same multiset, different p1 order: no explanation *)
+  let r = Reference.diagnose net (alarms [ ("c", "p1"); ("b", "p1"); ("a", "p2") ]) in
+  Alcotest.(check int) "no explanation" 0 (List.length r.Reference.diagnosis);
+  (* interleaving-equivalent sequence: same diagnosis *)
+  let r1 = Reference.diagnose net (alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ]) in
+  let r2 = Reference.diagnose net (alarms [ ("b", "p1"); ("c", "p1"); ("a", "p2") ]) in
+  check_diag "equivalent interleavings" r1.Reference.diagnosis r2.Reference.diagnosis
+
+let test_product_running_example () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let ref_r = Reference.diagnose net a in
+  let prod_r = Product.diagnose net a in
+  check_diag "product == reference" ref_r.Reference.diagnosis prod_r.Product.diagnosis
+
+let test_product_materializes_prefix () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1") ] in
+  let r = Product.diagnose net a in
+  (* only transition i explains (b,p1); the prefix holds that single event *)
+  Alcotest.(check int) "one configuration" 1 (List.length r.Product.diagnosis);
+  Alcotest.(check int) "one event materialized" 1
+    (Term.Set.cardinal r.Product.events_materialized)
+
+(* ------------------------------------------------------------------ *)
+(* Datalog diagnoser (Theorem 3)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_datalog_running_example () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let expected = (Reference.diagnose net a).Reference.diagnosis in
+  let r = Diagnoser.diagnose ~engine:Diagnoser.Centralized_qsq net a in
+  check_diag "datalog(QSQ) == reference" expected r.Diagnoser.diagnosis
+
+let test_datalog_magic () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let expected = (Reference.diagnose net a).Reference.diagnosis in
+  let r = Diagnoser.diagnose ~engine:Diagnoser.Centralized_magic net a in
+  check_diag "datalog(magic) == reference" expected r.Diagnoser.diagnosis
+
+let test_datalog_dqsq () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let expected = (Reference.diagnose net a).Reference.diagnosis in
+  let r =
+    Diagnoser.diagnose
+      ~engine:(Diagnoser.Distributed { seed = 3; policy = Network.Sim.Random_interleaving })
+      net a
+  in
+  check_diag "datalog(dQSQ) == reference" expected r.Diagnoser.diagnosis;
+  match r.Diagnoser.comm with
+  | Some comm -> Alcotest.(check bool) "messages flowed" true (comm.Diagnoser.deliveries > 0)
+  | None -> Alcotest.fail "expected communication stats"
+
+let test_datalog_unexplainable () =
+  let net = running_net () in
+  let r =
+    Diagnoser.diagnose net (alarms [ ("c", "p1"); ("b", "p1"); ("a", "p2") ])
+  in
+  Alcotest.(check int) "no explanation" 0 (List.length r.Diagnoser.diagnosis)
+
+let test_datalog_empty_sequence () =
+  let net = running_net () in
+  let r = Diagnoser.diagnose net (alarms []) in
+  (* the empty configuration explains the empty observation *)
+  Alcotest.(check int) "one (empty) configuration" 1 (List.length r.Diagnoser.diagnosis);
+  Alcotest.(check int) "it is empty" 0
+    (Term.Set.cardinal (List.hd r.Diagnoser.diagnosis))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4: materialization equals the dedicated algorithm's          *)
+(* ------------------------------------------------------------------ *)
+
+let check_theorem4 net a =
+  let prod = Product.diagnose net a in
+  let qsq = Diagnoser.diagnose ~engine:Diagnoser.Centralized_qsq net a in
+  let events_equal =
+    Term.Set.equal prod.Product.events_materialized qsq.Diagnoser.events_materialized
+  in
+  (* Conditions: QSQ materializes on demand, so it may omit children of
+     materialized events that no subquery ever asked for; it never
+     materializes more. *)
+  let conds_subset =
+    Term.Set.subset qsq.Diagnoser.conds_materialized prod.Product.conds_materialized
+  in
+  (events_equal, conds_subset, prod, qsq)
+
+let test_theorem4_running_example () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let events_equal, conds_subset, prod, qsq = check_theorem4 net a in
+  Alcotest.(check bool)
+    (Printf.sprintf "events: product %d vs qsq %d"
+       (Term.Set.cardinal prod.Product.events_materialized)
+       (Term.Set.cardinal qsq.Diagnoser.events_materialized))
+    true events_equal;
+  Alcotest.(check bool) "conds subset" true conds_subset
+
+let test_materialization_below_full_unfolding () =
+  (* the relevant prefix is much smaller than the full (depth-bounded)
+     unfolding on a wide net *)
+  let net = Petri.Net.binarize (Petri.Examples.toggles ~width:4 ~peer:"p" ()) in
+  let a = alarms [ ("up0", "p") ] in
+  let qsq = Diagnoser.diagnose net a in
+  let full_events, _, _ = Diagnoser.full_unfolding_materialization ~depth:8 net in
+  Alcotest.(check bool)
+    (Printf.sprintf "qsq events (%d) << full unfolding events (%d)"
+       (Term.Set.cardinal qsq.Diagnoser.events_materialized)
+       (Term.Set.cardinal full_events))
+    true
+    (Term.Set.cardinal qsq.Diagnoser.events_materialized * 4
+    < Term.Set.cardinal full_events)
+
+(* ------------------------------------------------------------------ *)
+(* Random nets: the three diagnosers agree (Theorem 3), and             *)
+(* materialization matches the baseline (Theorem 4)                     *)
+(* ------------------------------------------------------------------ *)
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (seed, steps) -> Printf.sprintf "seed=%d steps=%d" seed steps)
+    QCheck.Gen.(tup2 (0 -- 10000) (1 -- 4))
+
+let scenario_of seed steps =
+  let spec =
+    {
+      Petri.Generator.peers = 2;
+      components_per_peer = 1;
+      places_per_component = 3;
+      local_transitions = 2;
+      sync_transitions = 1;
+      alarm_symbols = 2;
+    }
+  in
+  let net = Petri.Generator.generate ~rng:(rng seed) spec in
+  let _, a = Petri.Generator.scenario ~rng:(rng (seed + 1)) ~steps net in
+  (Petri.Net.binarize net, a)
+
+let prop_three_diagnosers_agree =
+  QCheck.Test.make ~count:30 ~name:"reference == product == datalog (random scenarios)"
+    arb_scenario (fun (seed, steps) ->
+      let net, a = scenario_of seed steps in
+      QCheck.assume (Petri.Alarm.length a > 0);
+      let r_ref = (Reference.diagnose net a).Reference.diagnosis in
+      let r_prod = (Product.diagnose net a).Product.diagnosis in
+      let r_dat = (Diagnoser.diagnose net a).Diagnoser.diagnosis in
+      Canon.equal_diagnosis r_ref r_prod && Canon.equal_diagnosis r_ref r_dat)
+
+let prop_diagnosis_nonempty_for_real_executions =
+  (* an observed execution always has at least one explanation (itself) *)
+  QCheck.Test.make ~count:30 ~name:"real executions are explainable" arb_scenario
+    (fun (seed, steps) ->
+      let net, a = scenario_of seed steps in
+      QCheck.assume (Petri.Alarm.length a > 0);
+      (Diagnoser.diagnose net a).Diagnoser.diagnosis <> [])
+
+let prop_theorem4_random =
+  QCheck.Test.make ~count:30 ~name:"Theorem 4 on random scenarios" arb_scenario
+    (fun (seed, steps) ->
+      let net, a = scenario_of seed steps in
+      QCheck.assume (Petri.Alarm.length a > 0);
+      let events_equal, conds_subset, _, _ = check_theorem4 net a in
+      events_equal && conds_subset)
+
+let prop_dqsq_matches_centralized =
+  QCheck.Test.make ~count:15 ~name:"dQSQ diagnosis == centralized QSQ diagnosis"
+    arb_scenario (fun (seed, steps) ->
+      let net, a = scenario_of seed steps in
+      QCheck.assume (Petri.Alarm.length a > 0);
+      let central = Diagnoser.diagnose net a in
+      let dist =
+        Diagnoser.diagnose
+          ~engine:(Diagnoser.Distributed { seed; policy = Network.Sim.Random_interleaving })
+          net a
+      in
+      Canon.equal_diagnosis central.Diagnoser.diagnosis dist.Diagnoser.diagnosis
+      && Term.Set.equal central.Diagnoser.events_materialized dist.Diagnoser.events_materialized)
+
+let prop_interleaving_invariance =
+  (* the supervisor "can only assume that for each individual peer the
+     relative order of its alarms ... respects the order in which they were
+     sent": equivalent interleavings must produce identical diagnoses *)
+  QCheck.Test.make ~count:25 ~name:"diagnosis is invariant under async interleaving"
+    arb_scenario (fun (seed, steps) ->
+      let net, a = scenario_of seed steps in
+      QCheck.assume (Petri.Alarm.length a > 1);
+      let reshuffled =
+        Petri.Alarm.make
+          (Petri.Exec.async_shuffle ~rng:(rng (seed + 99)) (Petri.Alarm.to_pairs a))
+      in
+      QCheck.assume (Petri.Alarm.equivalent a reshuffled);
+      let d1 = (Diagnoser.diagnose net a).Diagnoser.diagnosis in
+      let d2 = (Diagnoser.diagnose net reshuffled).Diagnoser.diagnosis in
+      Canon.equal_diagnosis d1 d2)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2: the encoded unfolding program generates the unfolding     *)
+(* ------------------------------------------------------------------ *)
+
+(* reference nodes with canonical depth <= depth (the unfolder keeps postset
+   conditions one level past its event bound; the clipped bottom-up
+   evaluation does not) *)
+let reference_nodes u depth =
+  let ref_events =
+    List.fold_left
+      (fun acc e ->
+        if Petri.Unfolding.name_depth e.Petri.Unfolding.e_name <= depth then
+          Term.Set.add (Canon.term_of_name e.Petri.Unfolding.e_name) acc
+        else acc)
+      Term.Set.empty (Petri.Unfolding.events u)
+  in
+  let ref_conds =
+    List.fold_left
+      (fun acc c ->
+        if Petri.Unfolding.name_depth c.Petri.Unfolding.c_name <= depth then
+          Term.Set.add (Canon.term_of_name c.Petri.Unfolding.c_name) acc
+        else acc)
+      Term.Set.empty (Petri.Unfolding.conds u)
+  in
+  (ref_events, ref_conds)
+
+let test_theorem2_bounded () =
+  (* bottom-up evaluation of the unfolding rules, depth-bounded, yields
+     exactly the nodes of the reference unfolding at that depth *)
+  let net = running_net () in
+  let depth = 8 in
+  let events, conds, _ = Diagnoser.full_unfolding_materialization ~depth net in
+  let u =
+    Petri.Unfolding.unfold
+      ~bound:{ Petri.Unfolding.max_events = None; max_depth = Some depth }
+      net
+  in
+  let ref_events, ref_conds = reference_nodes u depth in
+  Alcotest.(check int) "same events"
+    (Term.Set.cardinal ref_events) (Term.Set.cardinal events);
+  Alcotest.(check bool) "event sets equal" true (Term.Set.equal ref_events events);
+  Alcotest.(check bool) "cond sets equal" true (Term.Set.equal ref_conds conds)
+
+let prop_theorem2_random =
+  QCheck.Test.make ~count:20 ~name:"Theorem 2 on random nets (bounded)" arb_scenario
+    (fun (seed, _) ->
+      let net, _ = scenario_of seed 1 in
+      let depth = 6 in
+      let events, conds, _ = Diagnoser.full_unfolding_materialization ~depth net in
+      let u =
+        Petri.Unfolding.unfold
+          ~bound:{ Petri.Unfolding.max_events = Some 5000; max_depth = Some depth }
+          net
+      in
+      QCheck.assume (Petri.Unfolding.is_complete u || Petri.Unfolding.num_events u < 5000);
+      let ref_events, ref_conds = reference_nodes u depth in
+      Term.Set.equal ref_events events && Term.Set.equal ref_conds conds)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ ( "reference-product",
+      [ Alcotest.test_case "reference: running example" `Quick test_reference_running_example;
+        Alcotest.test_case "reference: order sensitivity" `Quick test_reference_order_sensitivity;
+        Alcotest.test_case "product: running example" `Quick test_product_running_example;
+        Alcotest.test_case "product: prefix materialization" `Quick
+          test_product_materializes_prefix ] );
+    ( "datalog-diagnoser",
+      [ Alcotest.test_case "QSQ: running example" `Quick test_datalog_running_example;
+        Alcotest.test_case "magic: running example" `Quick test_datalog_magic;
+        Alcotest.test_case "dQSQ: running example" `Quick test_datalog_dqsq;
+        Alcotest.test_case "unexplainable sequence" `Quick test_datalog_unexplainable;
+        Alcotest.test_case "empty sequence" `Quick test_datalog_empty_sequence ] );
+    ( "theorems",
+      [ Alcotest.test_case "Theorem 4: running example" `Quick test_theorem4_running_example;
+        Alcotest.test_case "prefix << full unfolding" `Quick
+          test_materialization_below_full_unfolding;
+        Alcotest.test_case "Theorem 2: running example" `Quick test_theorem2_bounded ]
+      @ qcheck
+          [ prop_three_diagnosers_agree;
+            prop_diagnosis_nonempty_for_real_executions;
+            prop_interleaving_invariance;
+            prop_theorem4_random;
+            prop_dqsq_matches_centralized;
+            prop_theorem2_random ] ) ]
+
+let () = Alcotest.run "diagnosis" suite

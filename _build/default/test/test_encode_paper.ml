@@ -1,0 +1,149 @@
+(* Tests for the literal Section 4.1 encoding (notCausal / causal / notConf
+   with transTree / placesTree): it must generate exactly the same
+   trans/places/map facts as the primary co-based encoding and the reference
+   unfolder, and yield the same diagnoses through the supervisor. *)
+
+open Datalog
+open Diagnosis
+
+let rng seed = Random.State.make [| seed |]
+let alarms l = Petri.Alarm.make l
+let running_net () = Petri.Net.binarize (Petri.Examples.running_example ())
+
+let nodes_via encoding net depth =
+  let events, conds, _ = Diagnoser.full_unfolding_materialization ~encoding ~depth net in
+  (events, conds)
+
+let check_same_nodes name net depth =
+  let co_events, co_conds = nodes_via Diagnoser.Co net depth in
+  let paper_events, paper_conds = nodes_via Diagnoser.Paper net depth in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: same events (co %d vs paper %d)" name
+       (Term.Set.cardinal co_events) (Term.Set.cardinal paper_events))
+    true
+    (Term.Set.equal co_events paper_events);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: same conditions (co %d vs paper %d)" name
+       (Term.Set.cardinal co_conds) (Term.Set.cardinal paper_conds))
+    true
+    (Term.Set.equal co_conds paper_conds);
+  Alcotest.(check bool) (name ^ ": nonempty") true (not (Term.Set.is_empty co_events))
+
+let test_same_nodes_running () = check_same_nodes "running" (running_net ()) 10
+
+let test_same_nodes_toggles () =
+  check_same_nodes "toggles"
+    (Petri.Net.binarize (Petri.Examples.toggles ~width:2 ~peer:"p" ()))
+    7
+
+let test_same_nodes_divergence_net () =
+  (* the cross-peer net from the definition-vs-algorithm test: plenty of
+     inter-peer causality and root conditions *)
+  let net =
+    Petri.Net.binarize
+      (Petri.Net.make
+         ~places:
+           [ Petri.Net.mk_place ~peer:"p" "pe1";
+             Petri.Net.mk_place ~peer:"p" "pe2";
+             Petri.Net.mk_place ~peer:"q" "qf1";
+             Petri.Net.mk_place ~peer:"q" "qf2";
+             Petri.Net.mk_place ~peer:"q" "s1";
+             Petri.Net.mk_place ~peer:"p" "s2" ]
+         ~transitions:
+           [ Petri.Net.mk_transition ~peer:"p" ~alarm:"a" ~pre:[ "pe1"; "s2" ] ~post:[] "e1";
+             Petri.Net.mk_transition ~peer:"p" ~alarm:"b" ~pre:[ "pe2" ] ~post:[ "s1" ] "e2";
+             Petri.Net.mk_transition ~peer:"q" ~alarm:"c" ~pre:[ "qf1"; "s1" ] ~post:[] "f1";
+             Petri.Net.mk_transition ~peer:"q" ~alarm:"d" ~pre:[ "qf2" ] ~post:[ "s2" ] "f2" ]
+         ~marking:[ "pe1"; "pe2"; "qf1"; "qf2" ])
+  in
+  check_same_nodes "cross-peer" net 10
+
+let scenario_of seed steps =
+  let spec =
+    {
+      Petri.Generator.peers = 2;
+      components_per_peer = 1;
+      places_per_component = 3;
+      local_transitions = 2;
+      sync_transitions = 1;
+      alarm_symbols = 2;
+    }
+  in
+  let net = Petri.Generator.generate ~rng:(rng seed) spec in
+  let _, a = Petri.Generator.scenario ~rng:(rng (seed + 1)) ~steps net in
+  (Petri.Net.binarize net, a)
+
+let prop_same_nodes_random =
+  QCheck.Test.make ~count:12 ~name:"both encodings generate the same unfolding (random)"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10000))
+    (fun seed ->
+      let net, _ = scenario_of seed 1 in
+      let depth = 6 in
+      let co_events, co_conds = nodes_via Diagnoser.Co net depth in
+      let paper_events, paper_conds = nodes_via Diagnoser.Paper net depth in
+      Term.Set.equal co_events paper_events && Term.Set.equal co_conds paper_conds)
+
+(* ---------------- diagnosis through the literal encoding ------------- *)
+
+let test_diagnosis_running () =
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let expected = (Reference.diagnose net a).Reference.diagnosis in
+  let prepared = Diagnoser.prepare ~encoding:Diagnoser.Paper net a in
+  let r = Diagnoser.run prepared Diagnoser.Centralized_qsq in
+  Alcotest.(check bool)
+    (Printf.sprintf "paper encoding diagnosis == reference\nexpected:\n%s\nactual:\n%s"
+       (Canon.diagnosis_to_string expected)
+       (Canon.diagnosis_to_string r.Diagnoser.diagnosis))
+    true
+    (Canon.equal_diagnosis expected r.Diagnoser.diagnosis)
+
+let test_diagnosis_unexplainable () =
+  let net = running_net () in
+  let a = alarms [ ("c", "p1"); ("b", "p1"); ("a", "p2") ] in
+  let prepared = Diagnoser.prepare ~encoding:Diagnoser.Paper net a in
+  let r = Diagnoser.run prepared Diagnoser.Centralized_qsq in
+  Alcotest.(check int) "no explanation" 0 (List.length r.Diagnoser.diagnosis)
+
+let prop_diagnosis_random =
+  QCheck.Test.make ~count:10 ~name:"paper encoding diagnosis == reference (random)"
+    (QCheck.make
+       ~print:(fun (s, k) -> Printf.sprintf "seed=%d steps=%d" s k)
+       QCheck.Gen.(tup2 (0 -- 10000) (1 -- 3)))
+    (fun (seed, steps) ->
+      let net, a = scenario_of seed steps in
+      QCheck.assume (Petri.Alarm.length a > 0);
+      let expected = (Reference.diagnose net a).Reference.diagnosis in
+      let prepared = Diagnoser.prepare ~encoding:Diagnoser.Paper net a in
+      let r = Diagnoser.run prepared Diagnoser.Centralized_qsq in
+      Canon.equal_diagnosis expected r.Diagnoser.diagnosis)
+
+let test_theorem4_events_paper () =
+  (* the optimality claim also holds through the literal encoding *)
+  let net = running_net () in
+  let a = alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let prod = Product.diagnose net a in
+  let prepared = Diagnoser.prepare ~encoding:Diagnoser.Paper net a in
+  let r = Diagnoser.run prepared Diagnoser.Centralized_qsq in
+  Alcotest.(check bool)
+    (Printf.sprintf "events equal ([8] %d vs paper-encoding %d)"
+       (Term.Set.cardinal prod.Product.events_materialized)
+       (Term.Set.cardinal r.Diagnoser.events_materialized))
+    true
+    (Term.Set.equal prod.Product.events_materialized r.Diagnoser.events_materialized)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ ( "node-sets",
+      [ Alcotest.test_case "running example" `Quick test_same_nodes_running;
+        Alcotest.test_case "toggles" `Quick test_same_nodes_toggles;
+        Alcotest.test_case "cross-peer net" `Quick test_same_nodes_divergence_net ]
+      @ qcheck [ prop_same_nodes_random ] );
+    ( "diagnosis",
+      [ Alcotest.test_case "running example" `Quick test_diagnosis_running;
+        Alcotest.test_case "unexplainable" `Quick test_diagnosis_unexplainable;
+        Alcotest.test_case "Theorem 4 events" `Quick test_theorem4_events_paper ]
+      @ qcheck [ prop_diagnosis_random ] ) ]
+
+let () = Alcotest.run "encode-paper" suite

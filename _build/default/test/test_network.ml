@@ -1,0 +1,155 @@
+(* Tests for the asynchronous network simulator and the Dijkstra–Scholten
+   termination detector. *)
+
+open Network
+
+type msg = Ping of int | Token of int
+
+let test_fifo_per_channel () =
+  (* messages on one channel arrive in order, whatever the policy *)
+  let received = ref [] in
+  let sim = Sim.create ~seed:3 () in
+  Sim.add_peer sim "a" (fun _ ~src:_ _ -> ());
+  Sim.add_peer sim "b" (fun _ ~src:_ m ->
+      match m with Ping i -> received := i :: !received | Token _ -> ());
+  for i = 1 to 20 do
+    Sim.send sim ~src:"a" ~dst:"b" (Ping i)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "fifo order" (List.init 20 (fun i -> i + 1)) (List.rev !received)
+
+let test_interleaving_differs_across_channels () =
+  (* with two source channels, random interleaving mixes them but preserves
+     each source's order *)
+  let received = ref [] in
+  let sim = Sim.create ~seed:7 () in
+  Sim.add_peer sim "a" (fun _ ~src:_ _ -> ());
+  Sim.add_peer sim "b" (fun _ ~src:_ _ -> ());
+  Sim.add_peer sim "c" (fun _ ~src m ->
+      match m with Ping i -> received := (src, i) :: !received | Token _ -> ());
+  for i = 1 to 10 do
+    Sim.send sim ~src:"a" ~dst:"c" (Ping i);
+    Sim.send sim ~src:"b" ~dst:"c" (Ping i)
+  done;
+  ignore (Sim.run sim);
+  let log = List.rev !received in
+  let from p = List.filter_map (fun (q, i) -> if q = p then Some i else None) log in
+  Alcotest.(check (list int)) "a order" (List.init 10 (fun i -> i + 1)) (from "a");
+  Alcotest.(check (list int)) "b order" (List.init 10 (fun i -> i + 1)) (from "b");
+  Alcotest.(check int) "all delivered" 20 (List.length log)
+
+let test_handlers_can_send () =
+  (* a token passes around a ring 3 times *)
+  let hops = ref 0 in
+  let sim = Sim.create ~seed:1 () in
+  let peers = [ "p0"; "p1"; "p2" ] in
+  List.iteri
+    (fun k id ->
+      Sim.add_peer sim id (fun sim ~src:_ m ->
+          match m with
+          | Token n when n > 0 ->
+            incr hops;
+            Sim.send sim ~src:id ~dst:(List.nth peers ((k + 1) mod 3)) (Token (n - 1))
+          | Token _ -> incr hops
+          | Ping _ -> ()))
+    peers;
+  Sim.send sim ~src:"env" ~dst:"p0" (Token 8);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "9 hops" 9 !hops;
+  Alcotest.(check bool) "quiescent" true (Sim.is_quiescent sim)
+
+let test_stats () =
+  let sim = Sim.create ~seed:1 ~size_of:(fun (Ping i | Token i) -> i) () in
+  Sim.add_peer sim "x" (fun _ ~src:_ _ -> ());
+  Sim.send sim ~src:"e" ~dst:"x" (Ping 5);
+  Sim.send sim ~src:"e" ~dst:"x" (Ping 7);
+  ignore (Sim.run sim);
+  let s = Sim.stats sim in
+  Alcotest.(check int) "sent" 2 s.Sim.sent;
+  Alcotest.(check int) "delivered" 2 s.Sim.delivered;
+  Alcotest.(check int) "bytes" 12 s.Sim.bytes;
+  Alcotest.(check int) "one channel" 1 (List.length s.Sim.channels)
+
+let test_budget () =
+  (* two peers ping-pong forever; the step budget stops the run *)
+  let sim = Sim.create ~seed:1 () in
+  Sim.add_peer sim "a" (fun sim ~src:_ m -> Sim.send sim ~src:"a" ~dst:"b" m);
+  Sim.add_peer sim "b" (fun sim ~src:_ m -> Sim.send sim ~src:"b" ~dst:"a" m);
+  Sim.send sim ~src:"e" ~dst:"a" (Ping 0);
+  match Sim.run ~max_steps:100 sim with
+  | exception Sim.Budget_exhausted _ -> ()
+  | _ -> Alcotest.fail "should not terminate"
+
+let test_unknown_peer () =
+  let sim = Sim.create () in
+  match Sim.send sim ~src:"a" ~dst:"ghost" (Ping 1) with
+  | exception Sim.Unknown_peer "ghost" -> ()
+  | _ -> Alcotest.fail "should reject unknown destination"
+
+(* --------------------- termination detection ---------------------- *)
+
+(* A diffusing computation: each peer, on receiving [n], forwards [n-1] to a
+   few random-ish neighbours while n > 0. Work happens asynchronously; the
+   detector must fire exactly when everything (including acks) settles. *)
+let run_diffusion ~peers ~fanout ~depth ~seed =
+  let sim = Sim.create ~seed () in
+  let det = Termination.create ~root:"#root" () in
+  let work_done = ref 0 in
+  let terminated_at = ref (-1) in
+  let names = List.init peers (fun i -> Printf.sprintf "w%d" i) in
+  List.iteri
+    (fun k id ->
+      Termination.add_peer det sim id ~handler:(fun ~send ~src:_ n ->
+          incr work_done;
+          if n > 0 then
+            for j = 1 to fanout do
+              let dst = List.nth names ((k + j) mod peers) in
+              send ~dst (n - 1)
+            done))
+    names;
+  Termination.add_root det sim ~handler:(fun ~send:_ ~src:_ _ -> ());
+  Termination.on_termination det (fun () -> terminated_at := !work_done);
+  Termination.start det sim ~dst:"w0" depth;
+  ignore (Sim.run sim);
+  (det, !work_done, !terminated_at)
+
+let test_ds_detects_termination () =
+  let det, work_done, terminated_at = run_diffusion ~peers:5 ~fanout:2 ~depth:4 ~seed:11 in
+  Alcotest.(check bool) "terminated" true (Termination.is_terminated det);
+  (* total work = sum over levels of fanout^level *)
+  let expected = (1 lsl 5) - 1 (* 2^0+...+2^4 *) in
+  Alcotest.(check int) "all work done" expected work_done;
+  Alcotest.(check int) "termination announced only after all work" expected terminated_at
+
+let test_ds_no_early_announcement_under_policies () =
+  List.iter
+    (fun seed ->
+      let det, work_done, terminated_at = run_diffusion ~peers:7 ~fanout:2 ~depth:5 ~seed in
+      Alcotest.(check bool) "terminated" true (Termination.is_terminated det);
+      Alcotest.(check int)
+        (Printf.sprintf "no early announcement (seed %d)" seed)
+        work_done terminated_at)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_ds_trivial () =
+  (* work that spawns nothing terminates immediately after one delivery *)
+  let det, work_done, _ = run_diffusion ~peers:3 ~fanout:3 ~depth:0 ~seed:2 in
+  Alcotest.(check bool) "terminated" true (Termination.is_terminated det);
+  Alcotest.(check int) "one unit of work" 1 work_done
+
+let suite =
+  [ ( "sim",
+      [ Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+        Alcotest.test_case "interleaving across channels" `Quick
+          test_interleaving_differs_across_channels;
+        Alcotest.test_case "handlers can send" `Quick test_handlers_can_send;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "budget" `Quick test_budget;
+        Alcotest.test_case "unknown peer" `Quick test_unknown_peer ] );
+    ( "termination",
+      [ Alcotest.test_case "detects termination" `Quick test_ds_detects_termination;
+        Alcotest.test_case "never announces early" `Quick
+          test_ds_no_early_announcement_under_policies;
+        Alcotest.test_case "trivial computation" `Quick test_ds_trivial ] ) ]
+
+let () = Alcotest.run "network" suite

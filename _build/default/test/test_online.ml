@@ -1,0 +1,180 @@
+(* Tests for the online diagnoser and the report module. *)
+
+open Datalog
+open Diagnosis
+
+let rng seed = Random.State.make [| seed |]
+let alarms l = Petri.Alarm.make l
+let running_net () = Petri.Net.binarize (Petri.Examples.running_example ())
+
+let check_diag msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s\nexpected:\n%s\nactual:\n%s" msg
+       (Canon.diagnosis_to_string expected) (Canon.diagnosis_to_string actual))
+    true
+    (Canon.equal_diagnosis expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* Online                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_online_running_example () =
+  let net = running_net () in
+  let t = Online.start net in
+  (* nothing observed: the empty explanation *)
+  Alcotest.(check int) "empty observation" 1 (List.length (Online.diagnosis t));
+  Online.observe t ("b", "p1");
+  let d1 = Online.diagnosis t in
+  Alcotest.(check int) "after (b,p1): one explanation" 1 (List.length d1);
+  Online.observe t ("a", "p2");
+  Online.observe t ("c", "p1");
+  let batch = (Product.diagnose net (Petri.Examples.running_alarms ())).Product.diagnosis in
+  check_diag "online == batch after the full sequence" batch (Online.diagnosis t)
+
+let test_online_prefixes_match_batch () =
+  let net = running_net () in
+  let seq = [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let t = Online.start net in
+  List.iteri
+    (fun i alarm ->
+      Online.observe t alarm;
+      let prefix = alarms (List.filteri (fun j _ -> j <= i) seq) in
+      let batch = (Product.diagnose net prefix).Product.diagnosis in
+      check_diag (Printf.sprintf "prefix of length %d" (i + 1)) batch (Online.diagnosis t))
+    seq
+
+let test_online_cross_peer_dependency () =
+  (* an early alarm's event can causally need an event of a later alarm from
+     another peer: partial states must survive between observations *)
+  let net =
+    Petri.Net.binarize
+      (Petri.Net.make
+         ~places:
+           [ Petri.Net.mk_place ~peer:"q" "s0";
+             Petri.Net.mk_place ~peer:"p" "s1";
+             Petri.Net.mk_place ~peer:"p" "s2" ]
+         ~transitions:
+           [ Petri.Net.mk_transition ~peer:"q" ~alarm:"y" ~pre:[ "s0" ] ~post:[ "s1" ] "ty";
+             Petri.Net.mk_transition ~peer:"p" ~alarm:"x" ~pre:[ "s1" ] ~post:[ "s2" ] "tx" ]
+         ~marking:[ "s0" ])
+  in
+  let t = Online.start net in
+  (* the x alarm arrives first although its event causally needs ty *)
+  Online.observe t ("x", "p");
+  Alcotest.(check int) "x alone is not yet explainable" 0 (List.length (Online.diagnosis t));
+  Online.observe t ("y", "q");
+  let d = Online.diagnosis t in
+  Alcotest.(check int) "with y it is" 1 (List.length d);
+  Alcotest.(check (list string)) "both events" [ "tx"; "ty" ]
+    (Canon.config_transitions (List.hd d))
+
+let test_online_materialization_monotone () =
+  let net = running_net () in
+  let t = Online.start net in
+  let sizes = ref [] in
+  List.iter
+    (fun alarm ->
+      Online.observe t alarm;
+      sizes := Term.Set.cardinal (Online.events_materialized t) :: !sizes)
+    [ ("b", "p1"); ("a", "p2"); ("c", "p1") ];
+  let sizes = List.rev !sizes in
+  Alcotest.(check bool) "monotone growth" true
+    (List.sort compare sizes = sizes);
+  (* final materialization == batch materialization *)
+  let batch = Product.diagnose net (Petri.Examples.running_alarms ()) in
+  Alcotest.(check bool) "events == batch" true
+    (Term.Set.equal batch.Product.events_materialized (Online.events_materialized t))
+
+let prop_online_eq_batch =
+  QCheck.Test.make ~count:25 ~name:"online == batch (random scenarios)"
+    (QCheck.make
+       ~print:(fun (s, k) -> Printf.sprintf "seed=%d steps=%d" s k)
+       QCheck.Gen.(tup2 (0 -- 10000) (1 -- 5)))
+    (fun (seed, steps) ->
+      let spec =
+        {
+          Petri.Generator.peers = 2;
+          components_per_peer = 1;
+          places_per_component = 3;
+          local_transitions = 2;
+          sync_transitions = 1;
+          alarm_symbols = 2;
+        }
+      in
+      let net = Petri.Net.binarize (Petri.Generator.generate ~rng:(rng seed) spec) in
+      let _, a = Petri.Generator.scenario ~rng:(rng (seed + 1)) ~steps net in
+      QCheck.assume (Petri.Alarm.length a > 0);
+      let t = Online.start net in
+      Online.observe_all t a;
+      let batch = Product.diagnose net a in
+      Canon.equal_diagnosis batch.Product.diagnosis (Online.diagnosis t)
+      && Term.Set.equal batch.Product.events_materialized (Online.events_materialized t))
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_report_text () =
+  let net = running_net () in
+  let d = (Diagnoser.diagnose net (Petri.Examples.running_alarms ())).Diagnoser.diagnosis in
+  let s = Report.to_string net d in
+  Alcotest.(check bool) "mentions explanation count" true (contains s "3 possible explanation");
+  Alcotest.(check bool) "mentions transition i" true (contains s "i ");
+  Alcotest.(check bool) "mentions causality" true (contains s "after i");
+  Alcotest.(check bool) "mentions initial state" true (contains s "initial state")
+
+let test_report_causal_order () =
+  let net = running_net () in
+  let d = (Diagnoser.diagnose net (Petri.Examples.running_alarms ())).Diagnoser.diagnosis in
+  List.iter
+    (fun config ->
+      let views = Report.view_of_config net config in
+      (* each cause must also be an event of the configuration *)
+      List.iter
+        (fun v ->
+          List.iter
+            (fun c -> Alcotest.(check bool) "cause in config" true (Term.Set.mem c config))
+            v.Report.causes)
+        views)
+    d
+
+let test_report_timelines () =
+  let net = running_net () in
+  let d = (Diagnoser.diagnose net (Petri.Examples.running_alarms ())).Diagnoser.diagnosis in
+  (* the {i,ii,iii} explanation: p1 fires i then iii, p2 fires ii *)
+  let config =
+    List.find (fun c -> Canon.config_transitions c = [ "i"; "ii"; "iii" ]) d
+  in
+  let tl = Report.timelines net config in
+  Alcotest.(check (list (pair string (list string)))) "timelines"
+    [ ("p1", [ "i(b)"; "iii(c)" ]); ("p2", [ "ii(a)" ]) ]
+    tl
+
+let test_report_dot () =
+  let net = running_net () in
+  let d = (Diagnoser.diagnose net (Petri.Examples.running_alarms ())).Diagnoser.diagnosis in
+  let s = Report.dot_of_config net (List.hd d) in
+  Alcotest.(check bool) "has highlighting" true (contains s "fillcolor")
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ ( "online",
+      [ Alcotest.test_case "running example" `Quick test_online_running_example;
+        Alcotest.test_case "prefixes match batch" `Quick test_online_prefixes_match_batch;
+        Alcotest.test_case "cross-peer dependency" `Quick test_online_cross_peer_dependency;
+        Alcotest.test_case "materialization monotone" `Quick
+          test_online_materialization_monotone ]
+      @ qcheck [ prop_online_eq_batch ] );
+    ( "report",
+      [ Alcotest.test_case "text" `Quick test_report_text;
+        Alcotest.test_case "causal order" `Quick test_report_causal_order;
+        Alcotest.test_case "timelines" `Quick test_report_timelines;
+        Alcotest.test_case "dot" `Quick test_report_dot ] ) ]
+
+let () = Alcotest.run "online-report" suite

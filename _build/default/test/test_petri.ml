@@ -1,0 +1,407 @@
+(* Tests for the Petri net substrate: net construction, token game, safety,
+   binarization, unfoldings and their invariants, parsing, generators. *)
+
+open Petri
+module IS = Unfolding.Int_set
+
+let rng seed = Random.State.make [| seed |]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Net construction and token game                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_running_example_shape () =
+  let net = Examples.running_example () in
+  Alcotest.(check int) "places" 7 (Net.num_places net);
+  Alcotest.(check int) "transitions" 5 (Net.num_transitions net);
+  Alcotest.(check (list string)) "peers" [ "p1"; "p2" ] (Net.peers net);
+  let i = Net.transition net "i" in
+  Alcotest.(check string) "alpha(i)=b" "b" i.Net.t_alarm;
+  Alcotest.(check string) "phi(i)=p1" "p1" i.Net.t_peer;
+  Alcotest.(check (list string)) "pre(i)" [ "1"; "7" ] i.Net.t_pre;
+  Alcotest.(check (list string)) "post(i)" [ "2"; "3" ] i.Net.t_post
+
+let test_enabled_initially () =
+  let net = Examples.running_example () in
+  let m = Exec.initial net in
+  Alcotest.(check (list string)) "i, ii, v enabled (paper prose)" [ "i"; "ii"; "v" ]
+    (List.sort String.compare (Exec.enabled net m))
+
+let test_firing () =
+  let net = Examples.running_example () in
+  let m = Exec.fire net (Exec.initial net) "i" in
+  Alcotest.(check bool) "1 unmarked" false (Net.String_set.mem "1" m);
+  Alcotest.(check bool) "7 unmarked" false (Net.String_set.mem "7" m);
+  Alcotest.(check bool) "2 marked" true (Net.String_set.mem "2" m);
+  Alcotest.(check bool) "3 marked" true (Net.String_set.mem "3" m);
+  Alcotest.(check bool) "iii now enabled" true (Exec.is_enabled net m "iii");
+  (match Exec.fire net m "i" with
+  | exception Exec.Not_enabled _ -> ()
+  | _ -> Alcotest.fail "i should not be enabled twice")
+
+let test_run_alarms () =
+  let net = Examples.running_example () in
+  let _, alarms = Exec.run net [ "i"; "ii"; "iii" ] in
+  Alcotest.(check (list (pair string string)))
+    "alarm trace" [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] alarms
+
+let test_ill_formed () =
+  let bad () =
+    Net.make
+      ~places:[ Net.mk_place ~peer:"p" "s" ]
+      ~transitions:[ Net.mk_transition ~peer:"p" ~alarm:"a" ~pre:[ "nope" ] ~post:[] "t" ]
+      ~marking:[]
+  in
+  (match bad () with
+  | exception Net.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "dangling arc accepted");
+  let dup () =
+    Net.make
+      ~places:[ Net.mk_place ~peer:"p" "s"; Net.mk_place ~peer:"p" "s" ]
+      ~transitions:[] ~marking:[]
+  in
+  match dup () with
+  | exception Net.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "duplicate id accepted"
+
+let test_safety () =
+  let net = Examples.running_example () in
+  Alcotest.(check bool) "running example safe" true (Exec.is_safe net);
+  (* an unsafe net: two transitions feed the same place *)
+  let unsafe =
+    Net.make
+      ~places:[ Net.mk_place ~peer:"p" "a"; Net.mk_place ~peer:"p" "b"; Net.mk_place ~peer:"p" "c" ]
+      ~transitions:
+        [ Net.mk_transition ~peer:"p" ~alarm:"x" ~pre:[ "a" ] ~post:[ "c" ] "t1";
+          Net.mk_transition ~peer:"p" ~alarm:"y" ~pre:[ "b" ] ~post:[ "c" ] "t2" ]
+      ~marking:[ "a"; "b"; "c" ]
+  in
+  Alcotest.(check bool) "unsafe detected" false (Exec.is_safe unsafe)
+
+let test_binarize () =
+  let net = Examples.running_example () in
+  Alcotest.(check bool) "not binary before" false (Net.is_binary net);
+  let b = Net.binarize net in
+  Alcotest.(check bool) "binary after" true (Net.is_binary b);
+  Alcotest.(check bool) "still safe" true (Exec.is_safe b);
+  (* alarms of executions unchanged *)
+  let _, alarms = Exec.run b [ "i"; "ii"; "iii" ] in
+  Alcotest.(check (list (pair string string)))
+    "alarm trace preserved" [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] alarms
+
+let test_async_shuffle_preserves_peer_order () =
+  let alarms = [ ("a", "p1"); ("b", "p1"); ("c", "p2"); ("d", "p1"); ("e", "p2") ] in
+  let shuffled = Exec.async_shuffle ~rng:(rng 42) alarms in
+  Alcotest.(check int) "same length" (List.length alarms) (List.length shuffled);
+  let sub p l = List.filter (fun (_, q) -> q = p) l in
+  Alcotest.(check (list (pair string string))) "p1 order" (sub "p1" alarms) (sub "p1" shuffled);
+  Alcotest.(check (list (pair string string))) "p2 order" (sub "p2" alarms) (sub "p2" shuffled)
+
+(* ------------------------------------------------------------------ *)
+(* Unfolding                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_unfold_running_example () =
+  let net = Net.binarize (Examples.running_example ()) in
+  let u = Unfolding.unfold net in
+  Alcotest.(check bool) "complete" true (Unfolding.is_complete u);
+  (* Exactly one instance per transition: the running example has no loops. *)
+  let by_trans = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_trans e.Unfolding.e_trans
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_trans e.Unfolding.e_trans)))
+    (Unfolding.events u);
+  Alcotest.(check int) "5 events" 5 (Unfolding.num_events u);
+  List.iter
+    (fun t -> Alcotest.(check int) ("one instance of " ^ t) 1 (Hashtbl.find by_trans t))
+    [ "i"; "ii"; "iii"; "iv"; "v" ]
+
+let find_event u tid =
+  List.find (fun e -> e.Unfolding.e_trans = tid) (Unfolding.events u)
+
+let test_unfold_causality () =
+  let net = Net.binarize (Examples.running_example ()) in
+  let u = Unfolding.unfold net in
+  let e tid = (find_event u tid).Unfolding.e_id in
+  Alcotest.(check bool) "i < iii" true (Unfolding.causally_before u (e "i") (e "iii"));
+  Alcotest.(check bool) "i < iv" true (Unfolding.causally_before u (e "i") (e "iv"));
+  Alcotest.(check bool) "ii < iv" true (Unfolding.causally_before u (e "ii") (e "iv"));
+  Alcotest.(check bool) "i co ii" true (Unfolding.concurrent_events u (e "i") (e "ii"));
+  Alcotest.(check bool) "iii co iv (share no condition)" true
+    (Unfolding.concurrent_events u (e "iii") (e "iv") ||
+     Unfolding.in_conflict u (e "iii") (e "iv"));
+  Alcotest.(check bool) "not ii < i" false (Unfolding.causally_before u (e "ii") (e "i"))
+
+let test_unfold_toggles_growth () =
+  (* n independent toggles, depth-bounded: the unfolding grows with n. *)
+  let u2 =
+    Unfolding.unfold
+      ~bound:{ Unfolding.max_events = Some 200; max_depth = Some 8 }
+      (Net.binarize (Examples.toggles ~width:2 ~peer:"p" ()))
+  in
+  let u3 =
+    Unfolding.unfold
+      ~bound:{ Unfolding.max_events = Some 200; max_depth = Some 8 }
+      (Net.binarize (Examples.toggles ~width:3 ~peer:"p" ()))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "more toggles, more events (%d < %d)" (Unfolding.num_events u2)
+       (Unfolding.num_events u3))
+    true
+    (Unfolding.num_events u2 < Unfolding.num_events u3)
+
+let test_configurations_of_running_example () =
+  let net = Net.binarize (Examples.running_example ()) in
+  let u = Unfolding.unfold net in
+  let configs = ref [] in
+  Unfolding.iter_configurations u (fun c -> configs := c :: !configs);
+  (* every enumerated set is a configuration, and they are pairwise distinct *)
+  List.iter
+    (fun c -> Alcotest.(check bool) "is configuration" true (Unfolding.is_configuration u c))
+    !configs;
+  let as_sorted = List.map IS.elements !configs in
+  Alcotest.(check int) "no duplicates" (List.length as_sorted)
+    (List.length (List.sort_uniq compare as_sorted))
+
+let test_cut () =
+  let net = Net.binarize (Examples.running_example ()) in
+  let u = Unfolding.unfold net in
+  let empty_cut = Unfolding.cut u IS.empty in
+  (* initial cut = roots = number of initially marked places (incl. slacks) *)
+  Alcotest.(check int) "initial cut size"
+    (Net.String_set.cardinal (Net.marking net))
+    (IS.cardinal empty_cut)
+
+(* qcheck: unfolding invariants on random nets *)
+let arb_spec =
+  QCheck.make
+    ~print:(fun (p, c, n, l, s) -> Printf.sprintf "peers=%d comps=%d places=%d loc=%d sync=%d" p c n l s)
+    QCheck.Gen.(
+      tup5 (1 -- 3) (1 -- 2) (2 -- 4) (1 -- 3) (0 -- 2))
+
+let net_of (p, c, n, l, s) seed =
+  let spec =
+    {
+      Generator.peers = p;
+      components_per_peer = c;
+      places_per_component = n;
+      local_transitions = l;
+      sync_transitions = s;
+      alarm_symbols = 2;
+    }
+  in
+  Generator.generate ~rng:(rng seed) spec
+
+let bound = { Unfolding.max_events = Some 60; max_depth = Some 8 }
+
+let prop_generated_nets_safe =
+  QCheck.Test.make ~count:60 ~name:"generated nets are safe" arb_spec (fun s ->
+      Exec.is_safe ~max_states:20000 (net_of s 7))
+
+let prop_unfolding_is_branching_process =
+  QCheck.Test.make ~count:40 ~name:"unfolding invariants (random nets)" arb_spec (fun s ->
+      let net = Net.binarize (net_of s 13) in
+      let u = Unfolding.unfold ~bound net in
+      (* 1. each condition has at most one producer (by construction, parent
+            is unique) and rho preserves types and labels;
+         2. no two distinct events share transition and preset;
+         3. local configurations are configurations. *)
+      let events = Unfolding.events u in
+      let keys = List.map (fun e -> (e.Unfolding.e_trans, e.Unfolding.e_pre)) events in
+      let dedup = List.length (List.sort_uniq compare keys) = List.length keys in
+      let locals_ok =
+        List.for_all (fun e -> Unfolding.is_configuration u e.Unfolding.e_local) events
+      in
+      let rho_ok =
+        List.for_all
+          (fun e ->
+            let tr = Net.transition net e.Unfolding.e_trans in
+            let pre_places =
+              List.map (fun c -> (Unfolding.cond u c).Unfolding.c_place) e.Unfolding.e_pre
+            in
+            pre_places = tr.Net.t_pre)
+          events
+      in
+      dedup && locals_ok && rho_ok)
+
+let prop_co_symmetric =
+  QCheck.Test.make ~count:40 ~name:"concurrency is symmetric and irreflexive" arb_spec
+    (fun s ->
+      let net = Net.binarize (net_of s 23) in
+      let u = Unfolding.unfold ~bound net in
+      let conds = Unfolding.conds u in
+      List.for_all
+        (fun c ->
+          let ci = c.Unfolding.c_id in
+          (not (Unfolding.concurrent u ci ci))
+          && List.for_all
+               (fun d ->
+                 let di = d.Unfolding.c_id in
+                 Unfolding.concurrent u ci di = Unfolding.concurrent u di ci)
+               conds)
+        conds)
+
+let prop_executions_embed =
+  (* every random execution yields a configuration of the unfolding *)
+  QCheck.Test.make ~count:40 ~name:"random executions embed as configurations" arb_spec
+    (fun s ->
+      let net = Net.binarize (net_of s 31) in
+      let firing = Exec.random_execution ~rng:(rng 5) ~steps:5 net in
+      QCheck.assume (firing <> []);
+      (* a depth of 2 per firing suffices for the replayed chain *)
+      let u =
+        Unfolding.unfold
+          ~bound:{ Unfolding.max_events = Some 4000; max_depth = Some (2 + (2 * List.length firing)) }
+          net
+      in
+      (* replay the firing inside the unfolding: maintain the cut *)
+      let ok = ref true in
+      let cut = ref (Unfolding.cut u IS.empty) in
+      let config = ref IS.empty in
+      List.iter
+        (fun tid ->
+          if !ok then begin
+            let candidates =
+              List.filter
+                (fun e ->
+                  e.Unfolding.e_trans = tid
+                  && List.for_all (fun c -> IS.mem c !cut) e.Unfolding.e_pre)
+                (Unfolding.events u)
+            in
+            match candidates with
+            | e :: _ ->
+              config := IS.add e.Unfolding.e_id !config;
+              cut :=
+                List.fold_left (fun acc c -> IS.add c acc)
+                  (List.fold_left (fun acc c -> IS.remove c acc) !cut e.Unfolding.e_pre)
+                  e.Unfolding.e_post
+            | [] -> ok := false
+          end)
+        firing;
+      !ok && Unfolding.is_configuration u !config)
+
+let prop_cut_markings_are_reachable =
+  (* fundamental branching-process property: the marking of any
+     configuration's cut is reachable in the net, and (for complete
+     unfoldings) every reachable marking is some configuration's cut *)
+  QCheck.Test.make ~count:25 ~name:"cut markings == reachable markings" arb_spec
+    (fun s ->
+      let net = Net.binarize (net_of s 41) in
+      let u = Unfolding.unfold ~bound:{ Unfolding.max_events = Some 80; max_depth = Some 7 } net in
+      QCheck.assume (Unfolding.is_complete u);
+      let marking_of_cut c =
+        Unfolding.cut u c |> IS.elements
+        |> List.map (fun cd -> (Unfolding.cond u cd).Unfolding.c_place)
+        |> List.sort String.compare
+      in
+      let cut_markings = ref [] in
+      Unfolding.iter_configurations u (fun c -> cut_markings := marking_of_cut c :: !cut_markings);
+      let cut_markings = List.sort_uniq compare !cut_markings in
+      let reachable =
+        List.sort_uniq compare
+          (List.map
+             (fun m -> List.sort String.compare (Net.String_set.elements m))
+             (Exec.reachable net))
+      in
+      cut_markings = reachable)
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"net parse/print roundtrip (random nets)" arb_spec
+    (fun s ->
+      let net = net_of s 53 in
+      let rng = rng 54 in
+      let _, alarms = Generator.scenario ~rng ~steps:3 net in
+      let f = { Parse.net; alarms = Some alarms } in
+      let printed = Parse.print f in
+      let f' = Parse.parse printed in
+      Parse.print f' = printed
+      && Net.num_places f'.Parse.net = Net.num_places net
+      && Net.num_transitions f'.Parse.net = Net.num_transitions net)
+
+let test_ring_safe () =
+  List.iter
+    (fun n ->
+      let net = Examples.ring ~peers:n () in
+      Alcotest.(check bool)
+        (Printf.sprintf "ring of %d peers is safe" n)
+        true
+        (Exec.is_safe ~max_states:100_000 net))
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Parse / print                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let net = Examples.running_example () in
+  let f = { Parse.net; alarms = Some (Examples.running_alarms ()) } in
+  let s = Parse.print f in
+  let f' = Parse.parse s in
+  Alcotest.(check string) "roundtrip" s (Parse.print f');
+  Alcotest.(check int) "places" 7 (Net.num_places f'.Parse.net);
+  match f'.Parse.alarms with
+  | Some a -> Alcotest.(check int) "3 alarms" 3 (Alarm.length a)
+  | None -> Alcotest.fail "alarms lost"
+
+let test_parse_errors () =
+  let fails s = match Parse.parse s with exception Parse.Parse_error _ -> true | _ -> false in
+  Alcotest.(check bool) "bad directive" true (fails "plaice 1 @p\n");
+  Alcotest.(check bool) "missing peer" true (fails "place 1 p\n");
+  Alcotest.(check bool) "dangling arc" true (fails "trans t @p alarm a pre x post\n")
+
+let test_alarm_equivalence () =
+  let a = Alarm.make [ ("b", "p1"); ("a", "p2"); ("c", "p1") ] in
+  let b = Alarm.make [ ("b", "p1"); ("c", "p1"); ("a", "p2") ] in
+  let c = Alarm.make [ ("c", "p1"); ("b", "p1"); ("a", "p2") ] in
+  Alcotest.(check bool) "equivalent interleavings" true (Alarm.equivalent a b);
+  Alcotest.(check bool) "different p1 order" false (Alarm.equivalent a c)
+
+let test_dot_outputs () =
+  let net = Examples.running_example () in
+  let s = Dot.net_to_string net in
+  Alcotest.(check bool) "mentions place 7" true
+    (contains s "\"7\"");
+  let u = Unfolding.unfold (Net.binarize net) in
+  let s2 = Dot.unfolding_to_string u in
+  Alcotest.(check bool) "mentions an event" true (contains s2 "e0")
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ ( "net",
+      [ Alcotest.test_case "running example shape" `Quick test_running_example_shape;
+        Alcotest.test_case "initially enabled" `Quick test_enabled_initially;
+        Alcotest.test_case "firing" `Quick test_firing;
+        Alcotest.test_case "run alarms" `Quick test_run_alarms;
+        Alcotest.test_case "ill-formed rejected" `Quick test_ill_formed;
+        Alcotest.test_case "safety check" `Quick test_safety;
+        Alcotest.test_case "binarize" `Quick test_binarize;
+        Alcotest.test_case "async shuffle" `Quick test_async_shuffle_preserves_peer_order ]
+      @ qcheck [ prop_generated_nets_safe ] );
+    ( "unfolding",
+      [ Alcotest.test_case "running example unfolding" `Quick test_unfold_running_example;
+        Alcotest.test_case "causality/conflict/co" `Quick test_unfold_causality;
+        Alcotest.test_case "toggles growth" `Quick test_unfold_toggles_growth;
+        Alcotest.test_case "configuration enumeration" `Quick test_configurations_of_running_example;
+        Alcotest.test_case "cut" `Quick test_cut ]
+      @ qcheck
+          [ prop_unfolding_is_branching_process;
+            prop_co_symmetric;
+            prop_executions_embed;
+            prop_cut_markings_are_reachable ] );
+    ( "examples-roundtrip",
+      [ Alcotest.test_case "rings are safe" `Quick test_ring_safe ]
+      @ qcheck [ prop_parse_print_roundtrip ] );
+    ( "parse-alarm-dot",
+      [ Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "alarm equivalence" `Quick test_alarm_equivalence;
+        Alcotest.test_case "dot export" `Quick test_dot_outputs ] ) ]
+
+let () = Alcotest.run "petri" suite

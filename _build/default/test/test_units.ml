@@ -1,0 +1,362 @@
+(* Fine-grained unit tests for the supporting modules: symbols,
+   substitutions, fact stores, adornments, programs, the dDatalog layer,
+   canonical names, the supervisor's program shape, and the encoders. *)
+
+open Datalog
+
+let term = Alcotest.testable Term.pp Term.equal
+
+(* ------------------------------------------------------------------ *)
+(* Symbol                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_symbol () =
+  let a = Symbol.intern "hello" and b = Symbol.intern "hello" in
+  Alcotest.(check bool) "interning is stable" true (Symbol.equal a b);
+  Alcotest.(check string) "name roundtrip" "hello" (Symbol.name a);
+  let f1 = Symbol.fresh "tmp" and f2 = Symbol.fresh "tmp" in
+  Alcotest.(check bool) "fresh symbols differ" false (Symbol.equal f1 f2)
+
+(* ------------------------------------------------------------------ *)
+(* Subst                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_subst_compose () =
+  let s1 = Subst.of_list [ ("X", Term.const "a") ] in
+  let s2 = Subst.of_list [ ("Y", Term.Var "X") ] in
+  let s = Subst.compose s1 s2 in
+  (* compose s1 s2 = apply s2 then s1: Y -> X -> a *)
+  Alcotest.check term "Y resolves through both" (Term.const "a")
+    (Subst.apply s (Term.Var "Y"));
+  Alcotest.check term "X still bound" (Term.const "a") (Subst.apply s (Term.Var "X"))
+
+let test_subst_restrict () =
+  let s = Subst.of_list [ ("X", Term.const "a"); ("Y", Term.const "b") ] in
+  let s' = Subst.restrict [ "X" ] s in
+  Alcotest.(check int) "one binding left" 1 (Subst.cardinal s');
+  Alcotest.(check bool) "Y gone" false (Subst.mem "Y" s')
+
+(* ------------------------------------------------------------------ *)
+(* Fact_store                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_basics () =
+  let store = Fact_store.create () in
+  let f1 = Atom.make "r" [ Term.const "a"; Term.const "b" ] in
+  Alcotest.(check bool) "first add is new" true (Fact_store.add store f1);
+  Alcotest.(check bool) "second add is not" false (Fact_store.add store f1);
+  Alcotest.(check bool) "mem" true (Fact_store.mem store f1);
+  Alcotest.(check int) "count" 1 (Fact_store.count store);
+  Alcotest.(check int) "count_rel" 1 (Fact_store.count_rel store (Symbol.intern "r"));
+  (match Fact_store.add store (Atom.make "r" [ Term.Var "X" ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-ground fact accepted")
+
+let test_store_indexing () =
+  (* matching with a bound position must find exactly the right tuples even
+     after the lazy index is built and more facts are inserted *)
+  let store = Fact_store.create () in
+  let add a b = ignore (Fact_store.add store (Atom.make "e" [ Term.const a; Term.const b ])) in
+  add "a" "b";
+  add "a" "c";
+  add "x" "y";
+  let pattern = Atom.make "e" [ Term.const "a"; Term.Var "Y" ] in
+  Alcotest.(check int) "two matches" 2
+    (List.length (Fact_store.matches store pattern ~init:Subst.empty));
+  add "a" "d";
+  Alcotest.(check int) "index maintained on insert" 3
+    (List.length (Fact_store.matches store pattern ~init:Subst.empty));
+  (* second-position index *)
+  let pattern2 = Atom.make "e" [ Term.Var "X"; Term.const "y" ] in
+  Alcotest.(check int) "one match on pos 2" 1
+    (List.length (Fact_store.matches store pattern2 ~init:Subst.empty))
+
+let test_store_copy_isolated () =
+  let store = Fact_store.create () in
+  ignore (Fact_store.add store (Atom.make "r" [ Term.const "a" ]));
+  let copy = Fact_store.copy store in
+  ignore (Fact_store.add copy (Atom.make "r" [ Term.const "b" ]));
+  Alcotest.(check int) "original unchanged" 1 (Fact_store.count store);
+  Alcotest.(check int) "copy grew" 2 (Fact_store.count copy)
+
+let test_store_function_terms () =
+  let store = Fact_store.create () in
+  let node = Term.app "g" [ Term.app "f" [ Term.const "i" ]; Term.const "c1" ] in
+  ignore (Fact_store.add store (Atom.make "places" [ node; Term.const "p" ]));
+  (* pattern with structure binds inner variables *)
+  let pattern =
+    Atom.make "places" [ Term.app "g" [ Term.Var "X"; Term.const "c1" ]; Term.Var "Y" ]
+  in
+  match Fact_store.matches store pattern ~init:Subst.empty with
+  | [ s ] ->
+    Alcotest.check term "X bound inside structure" (Term.app "f" [ Term.const "i" ])
+      (Subst.apply s (Term.Var "X"))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 match, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Adornment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_adornment () =
+  let q = Parser.parse_atom {| r("1", Y, f(Y)) |} in
+  let ad = Adornment.of_query q in
+  Alcotest.(check string) "query adornment" "bff" (Adornment.to_string ad);
+  let bound = Adornment.Var_set.of_list [ "Y" ] in
+  let ad2 = Adornment.of_atom bound q in
+  Alcotest.(check string) "atom adornment with Y bound" "bbb" (Adornment.to_string ad2);
+  Alcotest.(check int) "bound count" 3 (Adornment.bound_count ad2);
+  Alcotest.(check (list string)) "bound args" [ "p" ]
+    (Adornment.bound_args [| true; false |] [ "p"; "q" ])
+
+let test_adornment_classify () =
+  let ad = [| true; false |] in
+  let r = Symbol.intern "trans" in
+  (match Adornment.classify (Adornment.adorned_sym r ad) with
+  | `Answer ("trans", "bf") -> ()
+  | _ -> Alcotest.fail "adorned misclassified");
+  (match Adornment.classify (Adornment.input_sym r ad) with
+  | `Input ("trans", "bf") -> ()
+  | _ -> Alcotest.fail "input misclassified");
+  (match Adornment.classify (Adornment.magic_sym r ad) with
+  | `Input ("trans", "bf") -> ()
+  | _ -> Alcotest.fail "magic misclassified");
+  (match Adornment.classify (Adornment.sup_sym r ad ~rule_index:1 ~pos:2) with
+  | `Sup _ -> ()
+  | _ -> Alcotest.fail "sup misclassified");
+  match Adornment.classify r with
+  | `Plain -> ()
+  | _ -> Alcotest.fail "plain misclassified"
+
+(* ------------------------------------------------------------------ *)
+(* Rule / Program                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_freshen () =
+  let r = Parser.parse_rule "p(X, Y) :- q(X, Z), r(Z, Y)." in
+  let r' = Rule.freshen r in
+  Alcotest.(check int) "same var count" (List.length (Rule.vars r))
+    (List.length (Rule.vars r'));
+  Alcotest.(check bool) "vars disjoint" true
+    (List.for_all (fun x -> not (List.mem x (Rule.vars r))) (Rule.vars r'));
+  Alcotest.(check bool) "still range restricted" true (Rule.is_range_restricted r')
+
+let test_program_partition_facts () =
+  let p = Parser.parse_program "e(a, b). e(b, c). p(X) :- e(X, Y)." in
+  let facts, rest = Program.partition_facts p in
+  Alcotest.(check int) "two facts" 2 (List.length facts);
+  Alcotest.(check int) "one rule" 1 (Program.size rest)
+
+let test_eval_max_rounds () =
+  let p = Parser.parse_program "n(z). n(s(X)) :- n(X)." in
+  let store = Fact_store.create () in
+  let options = { Eval.default_options with Eval.max_rounds = Some 3 } in
+  let res = Eval.seminaive ~options p store in
+  Alcotest.(check bool) "budget status" true (res.Eval.status = Eval.Budget_exhausted)
+
+let test_eval_run_wrapper () =
+  let p = Parser.parse_program "tc(X, Y) :- e(X, Y). e(a, b)." in
+  let _, res, answers = Eval.run ~strategy:`Naive p (Atom.make "tc" [ Term.Var "X"; Term.Var "Y" ]) in
+  Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
+  Alcotest.(check int) "one answer" 1 (List.length answers)
+
+(* ------------------------------------------------------------------ *)
+(* dDatalog layer                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Dqsq
+
+let test_names_not_distinct () =
+  let p = Dprogram.parse "R@a(X) :- E@a(X). R@b(X) :- E@b(X)." in
+  Alcotest.(check bool) "same name at two peers" false
+    (Dprogram.names_distinct_across_peers p)
+
+let test_drule_peers () =
+  let p = Dprogram.parse "Q@r(X) :- S@s(X), T@t(X), L@r(X)." in
+  let r = List.hd (Dprogram.rules p) in
+  Alcotest.(check string) "site" "r" (Drule.site r);
+  Alcotest.(check (list string)) "body peers" [ "r"; "s"; "t" ] (Drule.body_peers r);
+  Alcotest.(check bool) "not local" false (Drule.is_local r)
+
+let test_message_size () =
+  let fact = Message.Fact (Atom.make "r" [ Term.app "f" [ Term.const "a" ] ]) in
+  Alcotest.(check int) "fact size" 3 (Message.size fact);
+  Alcotest.(check bool) "is fact" true (Message.is_fact fact);
+  Alcotest.(check bool) "subscribe is control" true
+    (Message.is_control (Message.Subscribe (Symbol.intern "r")))
+
+let test_runtime_subscribe () =
+  let rt = Runtime.create "p" in
+  let rel = Symbol.intern "r@p" in
+  ignore (Runtime.add_fact rt (Atom.cmake rel [ Term.const "a" ]));
+  let snapshot = Runtime.subscribe rt rel ~dst:"q" in
+  Alcotest.(check int) "snapshot has the existing fact" 1 (List.length snapshot);
+  Alcotest.(check (list string)) "subscriber recorded" [ "q" ] (Runtime.subscribers_of rt rel);
+  Alcotest.(check int) "re-subscribe is empty" 0
+    (List.length (Runtime.subscribe rt rel ~dst:"q"))
+
+let test_runtime_install_idempotent () =
+  let rt = Runtime.create "p" in
+  let r = Parser.parse_rule "a(X) :- b(X)." in
+  Alcotest.(check bool) "first install" true (Runtime.install rt r);
+  Alcotest.(check bool) "second install" false (Runtime.install rt r);
+  Alcotest.(check int) "one rule" 1 (List.length (Runtime.rules rt))
+
+(* ------------------------------------------------------------------ *)
+(* Canon                                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Diagnosis
+
+let test_canon_roundtrip () =
+  let net = Petri.Net.binarize (Petri.Examples.running_example ()) in
+  let u = Petri.Unfolding.unfold net in
+  List.iter
+    (fun e ->
+      let t = Canon.term_of_name e.Petri.Unfolding.e_name in
+      Alcotest.(check bool) "event term recognized" true (Canon.is_event_term t);
+      Alcotest.(check int) "name/term roundtrip" 0
+        (Petri.Unfolding.name_compare e.Petri.Unfolding.e_name (Canon.name_of_term t));
+      Alcotest.(check (option string)) "transition recovered"
+        (Some e.Petri.Unfolding.e_trans)
+        (Canon.transition_of_event_term t))
+    (Petri.Unfolding.events u);
+  List.iter
+    (fun c ->
+      let t = Canon.term_of_name c.Petri.Unfolding.c_name in
+      Alcotest.(check bool) "cond term recognized" true (Canon.is_cond_term t);
+      Alcotest.(check int) "roundtrip" 0
+        (Petri.Unfolding.name_compare c.Petri.Unfolding.c_name (Canon.name_of_term t)))
+    (Petri.Unfolding.conds u);
+  match Canon.name_of_term (Term.const "zzz") with
+  | exception Canon.Not_a_node _ -> ()
+  | _ -> Alcotest.fail "junk term accepted as node"
+
+let test_canon_depth_agreement () =
+  (* Term.depth of the canonical term == Unfolding.name_depth *)
+  let net = Petri.Net.binarize (Petri.Examples.running_example ()) in
+  let u = Petri.Unfolding.unfold net in
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "depth agreement"
+        (Petri.Unfolding.name_depth e.Petri.Unfolding.e_name)
+        (Term.depth (Canon.term_of_name e.Petri.Unfolding.e_name)))
+    (Petri.Unfolding.events u)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor / Encode program shapes                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_shape () =
+  let a = Petri.Alarm.make [ ("x", "p1"); ("y", "p2"); ("z", "p1") ] in
+  let sup = Supervisor.build ~place_peers:[ "p1"; "p2"; "p3" ] a in
+  Alcotest.(check (list string)) "sequence peers" [ "p1"; "p2" ]
+    sup.Supervisor.sequence_peers;
+  Alcotest.(check bool) "bounded" false sup.Supervisor.unbounded;
+  (* alarmSeq: 3 transitions; accept: one per peer *)
+  let rels l = List.length (List.filter (fun (d : Datom.t) -> d.Datom.rel = l) sup.Supervisor.facts) in
+  Alcotest.(check int) "alarmSeq facts" 3 (rels "alarmSeq");
+  Alcotest.(check int) "accept facts" 2 (rels "accept");
+  (* notParent base rules range over all place peers *)
+  let base_notparent =
+    List.filter
+      (fun r ->
+        r.Drule.head.Datom.rel = "notParent"
+        && (match r.Drule.head.Datom.args with
+           | [ id; _ ] -> Term.equal id Supervisor.initial_id
+           | _ -> false))
+      (Dprogram.rules sup.Supervisor.program)
+  in
+  Alcotest.(check int) "notParent base per place peer" 3 (List.length base_notparent)
+
+let test_encode_shape () =
+  let net = Petri.Net.binarize (Petri.Examples.running_example ()) in
+  let prog = Encode.unfolding_program net in
+  (* root facts: one places + one map per marked place *)
+  let marked = Petri.Net.String_set.cardinal (Petri.Net.marking net) in
+  let facts =
+    List.filter (fun r -> r.Drule.body = []) (Dprogram.rules prog)
+  in
+  Alcotest.(check int) "root facts" (2 * marked) (List.length facts);
+  (* every rule's site is a net peer *)
+  Alcotest.(check bool) "rule sites are net peers" true
+    (List.for_all
+       (fun r -> List.mem (Drule.site r) (Petri.Net.peers net))
+       (Dprogram.rules prog));
+  Alcotest.(check bool) "range restricted" true
+    (Result.is_ok (Dprogram.check_range_restricted prog))
+
+let test_encode_rejects_nonbinary () =
+  let net = Petri.Examples.running_example () in
+  match Encode.unfolding_program net with
+  | exception Encode.Unsupported _ -> ()
+  | _ -> Alcotest.fail "non-binary net accepted"
+
+let test_producer_peers () =
+  let net = Petri.Examples.running_example () in
+  (* place 5 is produced by ii (peer p2), not marked *)
+  Alcotest.(check (list string)) "producers of 5" [ "p2" ] (Encode.producer_peers net "5");
+  (* place 7 is marked (peer p2) and has no producer transitions *)
+  Alcotest.(check (list string)) "producers of 7" [ "p2" ] (Encode.producer_peers net "7");
+  (* place 2 is produced by i (peer p1) *)
+  Alcotest.(check (list string)) "producers of 2" [ "p1" ] (Encode.producer_peers net "2")
+
+let test_paper_encoding_range_restricted () =
+  let net = Petri.Net.binarize (Petri.Examples.running_example ()) in
+  let prog = Encode_paper.unfolding_program net in
+  Alcotest.(check bool) "range restricted" true
+    (Result.is_ok (Dprogram.check_range_restricted prog));
+  Alcotest.(check bool) "bigger than the co encoding" true
+    (Dprogram.size prog > Dprogram.size (Encode.unfolding_program net))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern validation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_validation () =
+  (match Pattern.make ~states:[ "a" ] ~initial:[ "b" ] ~accepting:[] ~transitions:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown initial accepted");
+  match
+    Pattern.make ~states:[ "a" ] ~initial:[ "a" ] ~accepting:[ "a" ]
+      ~transitions:[ ("a", "x", "zz") ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown transition target accepted"
+
+let suite =
+  [ ( "symbol-subst",
+      [ Alcotest.test_case "symbol" `Quick test_symbol;
+        Alcotest.test_case "subst compose" `Quick test_subst_compose;
+        Alcotest.test_case "subst restrict" `Quick test_subst_restrict ] );
+    ( "fact-store",
+      [ Alcotest.test_case "basics" `Quick test_store_basics;
+        Alcotest.test_case "indexing" `Quick test_store_indexing;
+        Alcotest.test_case "copy isolation" `Quick test_store_copy_isolated;
+        Alcotest.test_case "function terms" `Quick test_store_function_terms ] );
+    ( "adornment",
+      [ Alcotest.test_case "binding patterns" `Quick test_adornment;
+        Alcotest.test_case "classify" `Quick test_adornment_classify ] );
+    ( "rule-program-eval",
+      [ Alcotest.test_case "freshen" `Quick test_rule_freshen;
+        Alcotest.test_case "partition facts" `Quick test_program_partition_facts;
+        Alcotest.test_case "max rounds" `Quick test_eval_max_rounds;
+        Alcotest.test_case "run wrapper" `Quick test_eval_run_wrapper ] );
+    ( "ddatalog",
+      [ Alcotest.test_case "name distinctness" `Quick test_names_not_distinct;
+        Alcotest.test_case "rule peers" `Quick test_drule_peers;
+        Alcotest.test_case "message size" `Quick test_message_size;
+        Alcotest.test_case "runtime subscribe" `Quick test_runtime_subscribe;
+        Alcotest.test_case "runtime install" `Quick test_runtime_install_idempotent ] );
+    ( "canon",
+      [ Alcotest.test_case "roundtrip" `Quick test_canon_roundtrip;
+        Alcotest.test_case "depth agreement" `Quick test_canon_depth_agreement ] );
+    ( "program-shapes",
+      [ Alcotest.test_case "supervisor" `Quick test_supervisor_shape;
+        Alcotest.test_case "encode" `Quick test_encode_shape;
+        Alcotest.test_case "encode rejects non-binary" `Quick test_encode_rejects_nonbinary;
+        Alcotest.test_case "producer peers" `Quick test_producer_peers;
+        Alcotest.test_case "paper encoding checks" `Quick test_paper_encoding_range_restricted ] );
+    ( "pattern-validation",
+      [ Alcotest.test_case "rejects unknown states" `Quick test_pattern_validation ] ) ]
+
+let () = Alcotest.run "units" suite
