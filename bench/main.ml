@@ -658,8 +658,37 @@ let timings () =
       Printf.printf "%-42s %16s\n" name pretty)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* observability snapshot                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The registered counters accumulated over every experiment above: probe
+   and derivation volume, network traffic, materialized prefix sizes. With
+   [--stats-json FILE] the snapshot is also written as JSON, so a
+   BENCH_*.json record can carry counters alongside the timings. *)
+let metrics_section stats_json_file =
+  section "METRICS" "observability snapshot (lib/obs registry, whole run)";
+  print_string (Obs.Snapshot.to_table ());
+  match stats_json_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Snapshot.to_json ());
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(JSON snapshot written to %s)\n" path
+
 let () =
   let no_timings = Array.exists (fun a -> a = "--no-timings") Sys.argv in
+  let stats_json_file =
+    let rec go i =
+      if i >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--stats-json" && i + 1 < Array.length Sys.argv then
+        Some Sys.argv.(i + 1)
+      else go (i + 1)
+    in
+    go 1
+  in
   e1 ();
   e2 ();
   e3 ();
@@ -676,5 +705,6 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  metrics_section stats_json_file;
   if not no_timings then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

@@ -39,6 +39,29 @@ let parse_alarms_arg s =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"NET" ~doc:"Net description file.")
 
+(* ---------------- observability flags ---------------- *)
+
+(* [--stats] prints the default-registry snapshot as a table, [--stats=json]
+   as JSON; [--trace] streams spans to stderr as they complete. *)
+
+let stats_arg =
+  let fmt = Arg.enum [ ("table", `Table); ("json", `Json) ] in
+  Arg.(value & opt ~vopt:(Some `Table) (some fmt) None
+       & info [ "stats" ] ~docv:"FORMAT"
+           ~doc:"After the run, print a snapshot of every registered metric \
+                 (counters, gauges, histograms); FORMAT is 'table' (default) or 'json'.")
+
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ] ~doc:"Stream observability spans to stderr as they complete.")
+
+let enable_trace trace = if trace then Obs.Trace.set_sink Obs.Trace.Stderr
+
+let print_stats = function
+  | None -> ()
+  | Some `Json -> print_endline (Obs.Snapshot.to_json ())
+  | Some `Table -> print_string (Obs.Snapshot.to_table ())
+
 (* ---------------- info ---------------- *)
 
 let info_cmd =
@@ -131,7 +154,8 @@ let engine_conv =
       ("reference", `Reference) ]
 
 let diagnose_cmd =
-  let run path alarms_opt engine seed verbose =
+  let run path alarms_opt engine seed verbose stats trace =
+    enable_trace trace;
     let f = load path in
     let net = Petri.Net.binarize f.Petri.Parse.net in
     let alarms =
@@ -188,7 +212,8 @@ let diagnose_cmd =
             (fun t -> Printf.printf "      %s\n" (Datalog.Term.to_string t))
             (Datalog.Term.Set.elements c))
       diagnosis;
-    print_endline extra
+    print_endline extra;
+    print_stats stats
   in
   let alarms_opt =
     Arg.(value & opt (some string) None
@@ -202,7 +227,7 @@ let diagnose_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print event terms.") in
   Cmd.v
     (Cmd.info "diagnose" ~doc:"Diagnose an alarm sequence.")
-    Term.(const run $ file_arg $ alarms_opt $ engine $ seed $ verbose)
+    Term.(const run $ file_arg $ alarms_opt $ engine $ seed $ verbose $ stats_arg $ trace_arg)
 
 (* ---------------- rewrite ---------------- *)
 
@@ -240,7 +265,8 @@ let rewrite_cmd =
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run path alarms_opt seed =
+  let run path alarms_opt seed stats trace =
+    enable_trace trace;
     let f = load path in
     let net = f.Petri.Parse.net in
     if not (Petri.Exec.is_safe ~max_states:200_000 net) then begin
@@ -309,6 +335,7 @@ let verify_cmd =
       (Canon.equal_diagnosis r_paper.Diagnoser.diagnosis r_qsq.Diagnoser.diagnosis)
       "";
     print_newline ();
+    print_stats stats;
     if !ok then print_endline "all checks passed"
     else begin
       print_endline "SOME CHECKS FAILED";
@@ -323,7 +350,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check the paper's theorems (1, 3, 4, Prop. 1) on a net and alarm sequence.")
-    Term.(const run $ file_arg $ alarms_opt $ seed)
+    Term.(const run $ file_arg $ alarms_opt $ seed $ stats_arg $ trace_arg)
 
 (* ---------------- generate ---------------- *)
 

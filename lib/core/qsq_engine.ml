@@ -52,6 +52,11 @@ type t = {
 
 let state t p = Hashtbl.find t.states p
 
+(* Protocol-message accounting, alongside the per-run instance fields. *)
+let delegations_c = Obs.Metrics.counter "qsq.delegations"
+let subscriptions_c = Obs.Metrics.counter "qsq.subscriptions"
+let fact_messages_c = Obs.Metrics.counter "qsq.fact_messages"
+
 (* All protocol messages go through here: either plain (the simulator's
    quiescence is the fixpoint signal) or tracked by the Dijkstra-Scholten
    detector (the supervisor learns the fixpoint from the protocol itself). *)
@@ -66,6 +71,7 @@ let forward t ~src outputs =
       List.iter
         (fun dst ->
           t.fact_messages <- t.fact_messages + 1;
+          Obs.Metrics.incr fact_messages_c;
           send t ~src ~dst (Message.Fact fact))
         subs)
     outputs
@@ -95,6 +101,7 @@ let ensure_subscription t p ~owner ~rel_sym =
     if not (Hashtbl.mem st.subscriptions_sent (owner, rel_sym)) then begin
       Hashtbl.add st.subscriptions_sent (owner, rel_sym) ();
       t.subscriptions <- t.subscriptions + 1;
+      Obs.Metrics.incr subscriptions_c;
       send t ~src:p ~dst:owner (Message.Subscribe rel_sym)
     end
   end
@@ -136,6 +143,7 @@ let rec walk t p (d : Message.delegation) =
       if String.equal head.Datom.peer p then install_answer t p finish
       else begin
         t.delegations <- t.delegations + 1;
+        Obs.Metrics.incr delegations_c;
         send t ~src:p ~dst:head.Datom.peer (Message.Delegate finish)
       end
     | Drule.Neq (x, y) :: rest -> go pos (lit_index + 1) bound prev_sup prev_owner (pending @ [ (x, y) ]) rest
@@ -151,6 +159,7 @@ let rec walk t p (d : Message.delegation) =
           d_bound = Var_set.elements bound }
       in
       t.delegations <- t.delegations + 1;
+        Obs.Metrics.incr delegations_c;
       send t ~src:p ~dst:a.Datom.peer (Message.Delegate d')
     | Drule.Pos a :: rest ->
       (* Local relation: one centralized-QSQ step. *)
@@ -318,6 +327,7 @@ let rec handle t p ~src msg =
     List.iter
       (fun fact ->
         t.fact_messages <- t.fact_messages + 1;
+        Obs.Metrics.incr fact_messages_c;
         send t ~src:p ~dst:src (Message.Fact fact))
       snapshot
   | Message.Fact fact ->
@@ -433,6 +443,8 @@ type outcome = {
 }
 
 let run ?max_steps (t : t) ~(query : Datom.t) : outcome =
+  Obs.Trace.with_span "qsq_engine.run" ~attrs:[ ("query", Datom.to_string query) ]
+  @@ fun () ->
   let p0 = t.query_peer in
   let q_local = Datom.to_local_atom query in
   let ad = Adornment.of_query q_local in

@@ -64,6 +64,12 @@ let subscribers_of t rel =
 (** Add a fact received from the network (or seeded); [true] if new. *)
 let add_fact t (a : Atom.t) : bool = Fact_store.add t.store a
 
+(* The same registry names the centralized {!Qsq.solve} increments: the
+   distributed engine's local fixpoints count toward the one qsq.* total. *)
+let facts_derived_c = Obs.Metrics.counter "qsq.facts_derived"
+let rules_fired_c = Obs.Metrics.counter "qsq.rules_fired"
+let rounds_c = Obs.Metrics.counter "qsq.fixpoint_rounds"
+
 (** Run local semi-naive evaluation. [delta], when given, restricts the
     initial delta to the given freshly arrived facts. Returns the newly
     derived facts paired with the peers subscribed to their relations at
@@ -77,6 +83,9 @@ let evaluate ?delta t : (Atom.t * string list) list =
   in
   t.derivations <- t.derivations + result.Eval.stats.Eval.derivations;
   t.clipped <- t.clipped + result.Eval.stats.Eval.clipped;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.new_facts facts_derived_c;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.derivations rules_fired_c;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.rounds rounds_c;
   List.rev !out
 
 let facts_count t = Fact_store.count t.store

@@ -95,10 +95,19 @@ let eval_body store body ~init ?delta f =
 
 exception Stop of status
 
+(* Cumulative engine instrumentation (lib/obs): [stats] stays the per-call
+   result, the registry carries the process-wide totals. *)
+let rules_fired_c = Obs.Metrics.counter "eval.rules_fired"
+let facts_derived_c = Obs.Metrics.counter "eval.facts_derived"
+let clipped_c = Obs.Metrics.counter "eval.clipped"
+let rounds_c = Obs.Metrics.counter "eval.rounds"
+let delta_size_h = Obs.Metrics.histogram "eval.delta_size"
+
 (** Run one rule against the store, adding derived heads. *)
 let fire_rule store opts stats (r : Rule.t) ?delta add_new =
   eval_body store r.Rule.body ~init:Subst.empty ?delta (fun s ->
       stats.derivations <- stats.derivations + 1;
+      Obs.Metrics.incr rules_fired_c;
       let head = Atom.apply s r.Rule.head in
       if not (Atom.is_ground head) then
         invalid_arg
@@ -107,9 +116,13 @@ let fire_rule store opts stats (r : Rule.t) ?delta add_new =
       let clipped =
         match opts.max_depth with Some d -> atom_depth head > d | None -> false
       in
-      if clipped then stats.clipped <- stats.clipped + 1
+      if clipped then begin
+        stats.clipped <- stats.clipped + 1;
+        Obs.Metrics.incr clipped_c
+      end
       else if Fact_store.add store head then begin
         stats.new_facts <- stats.new_facts + 1;
+        Obs.Metrics.incr facts_derived_c;
         add_new head;
         match opts.max_facts with
         | Some m when Fact_store.count store >= m -> raise (Stop Budget_exhausted)
@@ -118,6 +131,7 @@ let fire_rule store opts stats (r : Rule.t) ?delta add_new =
 
 let check_rounds opts stats =
   stats.rounds <- stats.rounds + 1;
+  Obs.Metrics.incr rounds_c;
   match opts.max_rounds with
   | Some m when stats.rounds > m -> raise (Stop Budget_exhausted)
   | Some _ | None -> ()
@@ -193,6 +207,8 @@ let seminaive ?(options = default_options) ?init_delta ?(on_new = fun (_ : Atom.
     (Program.rules program);
   let rec loop () =
     check_rounds options stats;
+    Obs.Metrics.observe_int delta_size_h
+      (Hashtbl.fold (fun _ tuples acc -> acc + List.length tuples) delta 0);
     let next : (Symbol.t, Term.t list list) Hashtbl.t = Hashtbl.create 64 in
     let next_add (a : Atom.t) =
       let prev = Option.value ~default:[] (Hashtbl.find_opt next a.Atom.rel) in

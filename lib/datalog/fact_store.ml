@@ -85,10 +85,20 @@ let facts_of t rel = List.map (fun args -> Atom.cmake rel args) (tuples_of t rel
 let all t =
   List.concat_map (fun rel -> facts_of t rel) (relations t)
 
+(* Registered instruments (see lib/obs): probe/candidate/scan accounting
+   stays on in production, index builds are timed into a histogram. *)
+let probes_c = Obs.Metrics.counter "fact_store.probes"
+let candidates_c = Obs.Metrics.counter "fact_store.candidates"
+let full_scans_c = Obs.Metrics.counter "fact_store.full_scans"
+let delta_scans_c = Obs.Metrics.counter "fact_store.delta_scans"
+let index_builds_c = Obs.Metrics.counter "fact_store.index_builds"
+let index_build_h = Obs.Metrics.histogram "fact_store.index_build_seconds"
+
 let ensure_index rs (mask : int list) =
   match List.assoc_opt mask rs.indexes with
   | Some idx -> idx
   | None ->
+    let t0 = Obs.Clock.now_s () in
     let idx = Tuple_tbl.create (max 64 rs.n) in
     List.iter
       (fun args ->
@@ -97,6 +107,8 @@ let ensure_index rs (mask : int list) =
         Tuple_tbl.replace idx key (args :: prev))
       rs.tuples;
     rs.indexes <- (mask, idx) :: rs.indexes;
+    Obs.Metrics.incr index_builds_c;
+    Obs.Metrics.observe index_build_h (Obs.Clock.now_s () -. t0);
     idx
 
 (* The ground positions of the pattern under [s] (sorted ascending, with
@@ -114,26 +126,21 @@ let ground_positions s (args : Term.t list) =
 
 (** [iter_matches t pattern ~init f] calls [f s] for every substitution [s]
     extending [init] such that [Subst.apply s pattern] is a stored fact. *)
-let probe_count = ref 0
-let candidate_count = ref 0
-let full_scan_count = ref 0
-
 let iter_matches t (pattern : Atom.t) ~init f =
   match Hashtbl.find_opt t.rels pattern.Atom.rel with
   | None -> ()
   | Some rs ->
-    incr probe_count;
-    let candidates =
+    Obs.Metrics.incr probes_c;
+    let full_scan, candidates =
       match ground_positions init pattern.Atom.args with
-      | [], _ -> rs.tuples
+      | [], _ -> (true, rs.tuples)
       | mask, key ->
         let idx = ensure_index rs mask in
-        Option.value ~default:[] (Tuple_tbl.find_opt idx key)
+        (false, Option.value ~default:[] (Tuple_tbl.find_opt idx key))
     in
-    candidate_count := !candidate_count + List.length candidates;
-    (match ground_positions init pattern.Atom.args with
-    | [], _ -> full_scan_count := !full_scan_count + List.length candidates
-    | _ -> ());
+    let n = List.length candidates in
+    Obs.Metrics.incr ~by:n candidates_c;
+    if full_scan then Obs.Metrics.incr ~by:n full_scans_c;
     List.iter
       (fun args ->
         match Unify.match_lists ~init pattern.Atom.args args with
@@ -148,10 +155,8 @@ let matches t pattern ~init =
 
 (** Iterate over matches restricted to an explicit list of candidate tuples
     (used by the semi-naive engine to drive joins from a delta). *)
-let delta_scan_count = ref 0
-
 let iter_matches_in (pattern : Atom.t) tuples ~init f =
-  delta_scan_count := !delta_scan_count + List.length tuples;
+  Obs.Metrics.incr ~by:(List.length tuples) delta_scans_c;
   List.iter
     (fun args ->
       match Unify.match_lists ~init pattern.Atom.args args with

@@ -40,15 +40,8 @@ val iter_matches_in : Atom.t -> Term.t list list -> init:Subst.t -> (Subst.t -> 
 val copy : t -> t
 
 val to_sorted_strings : t -> string list
-(** All facts, printed and sorted — for order-insensitive comparisons. *)
+(** All facts, printed and sorted — for order-insensitive comparisons.
 
-(**/**)
-
-val probe_count : int ref
-val candidate_count : int ref
-val full_scan_count : int ref
-(** Instrumentation counters for profiling; not part of the stable API. *)
-
-(**/**)
-
-val delta_scan_count : int ref
+    Probe/candidate/scan accounting is registered in the default
+    {!Obs.Metrics} registry under [fact_store.*] (see the Observability
+    section of README.md); the former ad-hoc counter refs are gone. *)

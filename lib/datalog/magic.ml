@@ -102,12 +102,18 @@ let rewrite (program : Program.t) (query : Atom.t) : t =
   in
   { program = Program.make (List.rev !out); seed; query; answer_pattern }
 
+let queries_c = Obs.Metrics.counter "magic.queries"
+let facts_derived_c = Obs.Metrics.counter "magic.facts_derived"
+
 let solve ?(options = Eval.default_options) (program : Program.t) (query : Atom.t)
     (edb : Fact_store.t) : Fact_store.t * Eval.result * Atom.t list =
+  Obs.Trace.with_span "magic.solve" ~attrs:[ ("query", Atom.to_string query) ] @@ fun () ->
   let rw = rewrite program query in
   let store = Fact_store.copy edb in
   ignore (Fact_store.add store rw.seed);
   let result = Eval.seminaive ~options rw.program store in
+  Obs.Metrics.incr queries_c;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.new_facts facts_derived_c;
   let answers =
     List.map
       (fun s -> Atom.apply s rw.query)

@@ -218,15 +218,27 @@ let materialized_tuples (store : Fact_store.t) (base : string) : Term.t list lis
     (Fact_store.relations store);
   Hashtbl.fold (fun args () acc -> args :: acc) tbl []
 
+(* Shared with the distributed engine ({!Runtime} increments the same
+   names): totals across every QSQ-rewritten evaluation in the process. *)
+let queries_c = Obs.Metrics.counter "qsq.queries"
+let facts_derived_c = Obs.Metrics.counter "qsq.facts_derived"
+let rules_fired_c = Obs.Metrics.counter "qsq.rules_fired"
+let rounds_c = Obs.Metrics.counter "qsq.fixpoint_rounds"
+
 (** Evaluate a query with QSQ: rewrite, seed, run semi-naive to fixpoint on
     the rewritten program against [edb], and read the answers back as
     instantiations of the original query atom. *)
 let solve ?(options = Eval.default_options) (program : Program.t) (query : Atom.t)
     (edb : Fact_store.t) : Fact_store.t * Eval.result * Atom.t list =
-  let rw = rewrite program query in
+  Obs.Trace.with_span "qsq.solve" ~attrs:[ ("query", Atom.to_string query) ] @@ fun () ->
+  let rw = Obs.Trace.with_span "qsq.rewrite" (fun () -> rewrite program query) in
   let store = Fact_store.copy edb in
   ignore (Fact_store.add store rw.seed);
   let result = Eval.seminaive ~options rw.program store in
+  Obs.Metrics.incr queries_c;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.new_facts facts_derived_c;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.derivations rules_fired_c;
+  Obs.Metrics.incr ~by:result.Eval.stats.Eval.rounds rounds_c;
   let answers =
     List.map
       (fun s -> Atom.apply s rw.query)

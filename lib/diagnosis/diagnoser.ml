@@ -33,8 +33,19 @@ let check_supervisor_name supervisor net =
          "Diagnoser: supervisor name %S collides with a net peer (pass ~supervisor)"
          supervisor)
 
+(* The Theorem 4 quantity — how much of the unfolding prefix each run
+   materializes — is registered so a snapshot can carry it next to the
+   engine and network counters. Per-peer splits land under
+   [diagnoser.nodes.<peer>] on distributed runs. *)
+let runs_c = Obs.Metrics.counter "diagnoser.runs"
+let nodes_c = Obs.Metrics.counter "diagnoser.nodes_materialized"
+let events_c = Obs.Metrics.counter "diagnoser.events_materialized"
+let conds_c = Obs.Metrics.counter "diagnoser.conds_materialized"
+let explanations_c = Obs.Metrics.counter "diagnoser.explanations"
+
 let prepare ?(supervisor = "supervisor") ?(encoding = Co) (net : Petri.Net.t)
     (alarms : Petri.Alarm.t) : prepared =
+  Obs.Trace.with_span "diagnoser.prepare" @@ fun () ->
   let net = if Petri.Net.is_binary net then net else Petri.Net.binarize net in
   check_supervisor_name supervisor net;
   let sup = Supervisor.build ~supervisor ~place_peers:(Petri.Net.peers net) alarms in
@@ -147,8 +158,26 @@ let mangled_edb (edb : Datom.t list) : Fact_store.t =
   List.iter (fun a -> ignore (Fact_store.add store (Datom.to_atom a))) edb;
   store
 
+let engine_name = function
+  | Centralized_qsq -> "qsq"
+  | Centralized_magic -> "magic"
+  | Distributed _ -> "dqsq"
+  | Distributed_ds _ -> "dqsq+ds"
+
+let record_result (r : result) =
+  Obs.Metrics.incr runs_c;
+  let e = Term.Set.cardinal r.events_materialized
+  and c = Term.Set.cardinal r.conds_materialized in
+  Obs.Metrics.incr ~by:e events_c;
+  Obs.Metrics.incr ~by:c conds_c;
+  Obs.Metrics.incr ~by:(e + c) nodes_c;
+  Obs.Metrics.incr ~by:(List.length r.diagnosis) explanations_c
+
 (** Run the prepared diagnosis query with the chosen engine. *)
 let run ?(eval_options = Eval.default_options) (p : prepared) (engine : engine) : result =
+  Obs.Trace.with_span "diagnoser.run" ~attrs:[ ("engine", engine_name engine) ]
+  @@ fun () ->
+  let result =
   match engine with
   | Centralized_qsq | Centralized_magic ->
     let program = Dprogram.mangled p.program in
@@ -185,6 +214,10 @@ let run ?(eval_options = Eval.default_options) (p : prepared) (engine : engine) 
       List.fold_left
         (fun (es, cs) peer ->
           let e, c = nodes_of_store (Qsq_engine.peer_store t peer) in
+          (* the Theorem 4 number, split by peer *)
+          Obs.Metrics.incr
+            ~by:(Term.Set.cardinal e + Term.Set.cardinal c)
+            (Obs.Metrics.counter ("diagnoser.nodes." ^ peer));
           (Term.Set.union es e, Term.Set.union cs c))
         (Term.Set.empty, Term.Set.empty)
         (Dprogram.peers p.program)
@@ -205,6 +238,9 @@ let run ?(eval_options = Eval.default_options) (p : prepared) (engine : engine) 
             bytes = out.Qsq_engine.net_stats.Network.Sim.bytes;
           };
     }
+  in
+  record_result result;
+  result
 
 (** One-call convenience. *)
 let diagnose ?supervisor ?eval_options ?(engine = Centralized_qsq) net alarms : result =

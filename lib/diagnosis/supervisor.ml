@@ -65,8 +65,13 @@ let pattern_of_observation = function
     condition at a silent peer must still be provably unconsumed).
     [hidden_peers] are peers that may fire unobserved transitions
     (relation [hiddenNet@p]). *)
+let builds_c = Obs.Metrics.counter "supervisor.builds"
+let observations_c = Obs.Metrics.counter "supervisor.observations_encoded"
+
 let build_general ?(supervisor = "supervisor") ?place_peers ?(hidden_peers = [])
     (observations : (string * observation) list) : t =
+  Obs.Metrics.incr builds_c;
+  Obs.Metrics.incr ~by:(List.length observations) observations_c;
   let p0 = supervisor in
   let peers = List.sort String.compare (List.map fst observations) in
   if List.length (List.sort_uniq String.compare peers) <> List.length peers then

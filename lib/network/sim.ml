@@ -11,7 +11,13 @@
     Peers are registered with a message handler; a handler may send further
     messages (and do arbitrary local work). The network is quiescent when
     every channel is empty; [run] drives the simulation there and returns
-    delivery statistics. *)
+    delivery statistics.
+
+    Accounting lives in an {!Obs.Metrics} registry owned by the instance
+    ([sim.sent], [sim.delivered], [sim.dropped], [sim.bytes]); the {!stats}
+    record is a thin view over it. Every update is mirrored into the
+    process-wide default registry under the same names, so CLI snapshots
+    see network totals without holding the instance. *)
 
 type peer_id = string
 
@@ -20,22 +26,33 @@ type policy =
   | Round_robin  (** cycle over channels in creation order *)
   | Global_fifo  (** deliver strictly in send order (a synchronous-ish run) *)
 
+(* Process-wide mirrors, registered eagerly so snapshots always carry the
+   sim.* keys even before any network is created. *)
+let g_sent = Obs.Metrics.counter "sim.sent"
+let g_delivered = Obs.Metrics.counter "sim.delivered"
+let g_dropped = Obs.Metrics.counter "sim.dropped"
+let g_bytes = Obs.Metrics.counter "sim.bytes"
+
 type 'msg t = {
   rng : Random.State.t;
   loss_rng : Random.State.t;
   loss : float;  (* probability that a sent message is silently dropped *)
-  mutable dropped : int;
   policy : policy;
   size_of : 'msg -> int;  (** abstract message size, for byte accounting *)
   handlers : (peer_id, 'msg t -> src:peer_id -> 'msg -> unit) Hashtbl.t;
   channels : (peer_id * peer_id, 'msg Queue.t) Hashtbl.t;
-  mutable channel_order : (peer_id * peer_id) list;  (** creation order *)
+  (* channels in creation order, as a growable array: registering the N-th
+     channel is O(1) amortized (the former list-append made it O(N)) *)
+  mutable channel_order : (peer_id * peer_id) array;
+  mutable channel_count : int;
   mutable rr_cursor : int;
   mutable seq : int;  (** global send counter, for [Global_fifo] *)
   pending : (int * (peer_id * peer_id)) Queue.t;  (** send order of messages *)
-  mutable sent : int;
-  mutable delivered : int;
-  mutable bytes : int;
+  metrics : Obs.Metrics.registry;  (** per-instance accounting *)
+  c_sent : Obs.Metrics.counter;
+  c_delivered : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
+  c_bytes : Obs.Metrics.counter;
   per_channel : (peer_id * peer_id, int) Hashtbl.t;
   mutable trace : (peer_id * peer_id * string) list;  (** reverse delivery log *)
   mutable tracing : bool;
@@ -45,27 +62,32 @@ type 'msg t = {
 let create ?(seed = 0) ?(policy = Random_interleaving) ?(loss = 0.0)
     ?(size_of = fun _ -> 1) ?(describe = fun _ -> "<msg>") () =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Sim.create: loss must be in [0, 1)";
+  let metrics = Obs.Metrics.create_registry () in
   {
     rng = Random.State.make [| seed |];
     loss_rng = Random.State.make [| seed + 7919 |];
     loss;
-    dropped = 0;
     policy;
     size_of;
     handlers = Hashtbl.create 16;
     channels = Hashtbl.create 16;
-    channel_order = [];
+    channel_order = [||];
+    channel_count = 0;
     rr_cursor = 0;
     seq = 0;
     pending = Queue.create ();
-    sent = 0;
-    delivered = 0;
-    bytes = 0;
+    metrics;
+    c_sent = Obs.Metrics.counter ~registry:metrics "sim.sent";
+    c_delivered = Obs.Metrics.counter ~registry:metrics "sim.delivered";
+    c_dropped = Obs.Metrics.counter ~registry:metrics "sim.dropped";
+    c_bytes = Obs.Metrics.counter ~registry:metrics "sim.bytes";
     per_channel = Hashtbl.create 16;
     trace = [];
     tracing = false;
     describe;
   }
+
+let metrics t = t.metrics
 
 let set_tracing t b = t.tracing <- b
 
@@ -78,14 +100,27 @@ let add_peer t id handler =
 let has_peer t id = Hashtbl.mem t.handlers id
 let peers t = Hashtbl.fold (fun id _ acc -> id :: acc) t.handlers []
 
+let push_channel t key =
+  let n = Array.length t.channel_order in
+  if t.channel_count = n then begin
+    let grown = Array.make (max 8 (2 * n)) key in
+    Array.blit t.channel_order 0 grown 0 n;
+    t.channel_order <- grown
+  end;
+  t.channel_order.(t.channel_count) <- key;
+  t.channel_count <- t.channel_count + 1
+
 let channel t key =
   match Hashtbl.find_opt t.channels key with
   | Some q -> q
   | None ->
     let q = Queue.create () in
     Hashtbl.add t.channels key q;
-    t.channel_order <- t.channel_order @ [ key ];
+    push_channel t key;
     q
+
+let tick local global = Obs.Metrics.incr local; Obs.Metrics.incr global
+let tick_by n local global = Obs.Metrics.incr ~by:n local; Obs.Metrics.incr ~by:n global
 
 (** Send a message; it is queued, not delivered synchronously — even a peer
     sending to itself goes through its own channel. *)
@@ -93,26 +128,29 @@ let send t ~src ~dst msg =
   if not (Hashtbl.mem t.handlers dst) then raise (Unknown_peer dst);
   if t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss then begin
     (* failure injection: the channel silently loses the message *)
-    t.dropped <- t.dropped + 1;
-    t.sent <- t.sent + 1
+    tick t.c_dropped g_dropped;
+    tick t.c_sent g_sent
   end
   else begin
-  let key = (src, dst) in
-  Queue.add msg (channel t key);
-  Queue.add (t.seq, key) t.pending;
-  t.seq <- t.seq + 1;
-  t.sent <- t.sent + 1;
-  t.bytes <- t.bytes + t.size_of msg;
-  Hashtbl.replace t.per_channel key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_channel key))
+    let key = (src, dst) in
+    Queue.add msg (channel t key);
+    Queue.add (t.seq, key) t.pending;
+    t.seq <- t.seq + 1;
+    tick t.c_sent g_sent;
+    tick_by (t.size_of msg) t.c_bytes g_bytes;
+    Hashtbl.replace t.per_channel key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_channel key))
   end
 
 let nonempty_channels t =
-  List.filter
-    (fun key -> match Hashtbl.find_opt t.channels key with
-      | Some q -> not (Queue.is_empty q)
-      | None -> false)
-    t.channel_order
+  let out = ref [] in
+  for i = t.channel_count - 1 downto 0 do
+    let key = t.channel_order.(i) in
+    match Hashtbl.find_opt t.channels key with
+    | Some q when not (Queue.is_empty q) -> out := key :: !out
+    | Some _ | None -> ()
+  done;
+  !out
 
 let is_quiescent t = nonempty_channels t = []
 
@@ -148,7 +186,7 @@ let step t =
   | Some ((src, dst) as key) ->
     let q = channel t key in
     let msg = Queue.pop q in
-    t.delivered <- t.delivered + 1;
+    tick t.c_delivered g_delivered;
     if t.tracing then t.trace <- (src, dst, t.describe msg) :: t.trace;
     let handler = Hashtbl.find t.handlers dst in
     handler t ~src msg;
@@ -159,6 +197,7 @@ exception Budget_exhausted of int
 (** Run to quiescence. [max_steps] guards against protocols that never
     terminate. Returns the number of deliveries performed by this call. *)
 let run ?(max_steps = 10_000_000) t =
+  Obs.Trace.with_span "sim.run" @@ fun () ->
   let n = ref 0 in
   while step t do
     incr n;
@@ -174,12 +213,14 @@ type stats = {
   channels : ((peer_id * peer_id) * int) list;  (** messages per channel *)
 }
 
+(* The record is read off the instance registry — the registry is the
+   source of truth, [stats] only a view. *)
 let stats (t : _ t) =
   {
-    sent = t.sent;
-    delivered = t.delivered;
-    dropped = t.dropped;
-    bytes = t.bytes;
+    sent = Obs.Metrics.value t.c_sent;
+    delivered = Obs.Metrics.value t.c_delivered;
+    dropped = Obs.Metrics.value t.c_dropped;
+    bytes = Obs.Metrics.value t.c_bytes;
     channels = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_channel []);
   }
 

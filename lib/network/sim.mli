@@ -62,6 +62,12 @@ type stats = {
 }
 
 val stats : 'msg t -> stats
+(** A thin view over the instance's metrics registry (see {!metrics}). *)
+
+val metrics : 'msg t -> Obs.Metrics.registry
+(** Per-instance accounting: counters [sim.sent], [sim.delivered],
+    [sim.dropped], [sim.bytes]. Every update is also mirrored into the
+    process-wide {!Obs.Metrics.default} registry under the same names. *)
 
 val delivery_trace : 'msg t -> (peer_id * peer_id * string) list
 (** In delivery order; empty unless tracing was enabled. *)

@@ -1,0 +1,4 @@
+(** Wall-clock reads for the observability layer, isolated here so the rest
+    of the tree does not depend on [Unix] directly. *)
+
+let now_s () = Unix.gettimeofday ()

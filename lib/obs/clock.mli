@@ -1,0 +1,2 @@
+val now_s : unit -> float
+(** Current wall-clock time in seconds (sub-microsecond resolution). *)

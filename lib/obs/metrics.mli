@@ -1,0 +1,58 @@
+(** Named-instrument registry: counters, gauges, and log-scale histograms.
+
+    Names follow the [subsystem.metric] scheme (["fact_store.probes"],
+    ["sim.delivered"], ...). Registering a name twice returns the same
+    instrument, so modules share instruments by agreeing on names; asking
+    for a name under a different instrument kind raises [Invalid_argument].
+    Updates are a single field write — cheap enough to leave on. *)
+
+type counter
+type gauge
+type histogram
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry
+
+val create_registry : unit -> registry
+
+val default : registry
+(** The process-wide registry behind {!Snapshot} and the CLI surfaces. *)
+
+val counter : ?registry:registry -> string -> counter
+val gauge : ?registry:registry -> string -> gauge
+val histogram : ?registry:registry -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val observe : histogram -> float -> unit
+val observe_int : histogram -> int -> unit
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+  buckets : (float * int) list;
+      (** (upper bound, observations in that log-2 bucket), ascending; an
+          upper bound of 0 collects the non-positive observations *)
+}
+
+val summary : histogram -> histogram_summary
+
+val name_of : instrument -> string
+val kind_of : instrument -> string
+
+val instruments : registry -> (string * instrument) list
+(** All registered instruments, sorted by name (deterministic). *)
+
+val find : ?registry:registry -> string -> instrument option
+
+val counter_value : ?registry:registry -> string -> int
+(** Value of a named counter; 0 when absent or not a counter. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every instrument; handles stay valid. *)

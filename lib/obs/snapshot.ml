@@ -1,0 +1,69 @@
+(** Render every instrument of a registry as a stable, sorted text table or
+    as a JSON object. Instruments are emitted in name order, so two
+    snapshots of registries holding the same values are byte-identical —
+    the determinism the tests and the benchmark records rely on. *)
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let histogram_cells (h : Metrics.histogram) =
+  let s = Metrics.summary h in
+  if s.Metrics.count = 0 then "count=0"
+  else
+    Printf.sprintf "count=%d sum=%s min=%s max=%s" s.Metrics.count (fmt_float s.Metrics.sum)
+      (fmt_float s.Metrics.min) (fmt_float s.Metrics.max)
+
+(** One line per instrument: [name  kind  value]. *)
+let to_table ?(registry = Metrics.default) () : string =
+  let rows =
+    List.map
+      (fun (name, ins) ->
+        let value =
+          match ins with
+          | Metrics.Counter c -> string_of_int (Metrics.value c)
+          | Metrics.Gauge g -> string_of_int (Metrics.gauge_value g)
+          | Metrics.Histogram h -> histogram_cells h
+        in
+        (name, Metrics.kind_of ins, value))
+      (Metrics.instruments registry)
+  in
+  let w =
+    List.fold_left (fun acc (name, _, _) -> max acc (String.length name)) 10 rows
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, kind, value) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s  %-9s  %s\n" w name kind value))
+    rows;
+  Buffer.contents buf
+
+let json_escape = Trace.json_escape
+
+let json_of_instrument = function
+  | Metrics.Counter c -> string_of_int (Metrics.value c)
+  | Metrics.Gauge g -> string_of_int (Metrics.gauge_value g)
+  | Metrics.Histogram h ->
+    let s = Metrics.summary h in
+    let buckets =
+      String.concat ","
+        (List.map
+           (fun (le, n) -> Printf.sprintf "[%s,%d]" (fmt_float le) n)
+           s.Metrics.buckets)
+    in
+    if s.Metrics.count = 0 then {|{"count":0,"sum":0,"buckets":[]}|}
+    else
+      Printf.sprintf {|{"count":%d,"sum":%s,"min":%s,"max":%s,"buckets":[%s]}|}
+        s.Metrics.count (fmt_float s.Metrics.sum) (fmt_float s.Metrics.min)
+        (fmt_float s.Metrics.max) buckets
+
+(** A JSON object mapping instrument names (sorted) to values: counters and
+    gauges to integers, histograms to [{count, sum, min, max, buckets}]. *)
+let to_json ?(registry = Metrics.default) () : string =
+  let fields =
+    List.map
+      (fun (name, ins) ->
+        Printf.sprintf "\"%s\":%s" (json_escape name) (json_of_instrument ins))
+      (Metrics.instruments registry)
+  in
+  "{" ^ String.concat "," fields ^ "}"

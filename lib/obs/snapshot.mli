@@ -1,0 +1,10 @@
+(** Render every instrument of a registry as a stable, sorted text table or
+    as a JSON object. Deterministic: instruments appear in name order. *)
+
+val to_table : ?registry:Metrics.registry -> unit -> string
+(** One line per instrument: [name  kind  value]. *)
+
+val to_json : ?registry:Metrics.registry -> unit -> string
+(** A JSON object mapping instrument names to values: counters and gauges
+    to integers, histograms to [{count, sum, min, max, buckets}] where
+    [buckets] is a list of [[upper-bound, count]] pairs (log-2 scale). *)
