@@ -568,6 +568,41 @@ let e16 () =
     (Term.Set.equal (Online.events_materialized t) final.Product.events_materialized)
 
 (* ------------------------------------------------------------------ *)
+(* E17: the differential fuzzing corpus as a workload                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each theorem property of lib/check runs over the same fixed 25-seed
+   corpus. Checks are differential — two engines per check — so the time
+   column is dominated by the slower engine of the pair (usually the
+   reference oracle or the distributed run). A non-zero fails column is a
+   regression: the fuzzer would print a one-line replay recipe for it. *)
+let e17 () =
+  section "E17" "Differential fuzzing corpus: theorem properties over 25 fixed seeds";
+  Printf.printf "%-36s %7s %8s %6s %9s\n" "property" "checks" "skipped" "fails" "time";
+  let total = ref 0.0 in
+  List.iter
+    (fun (p : Check.Property.t) ->
+      let config =
+        {
+          Check.Runner.default_config with
+          Check.Runner.runs = 25;
+          seed = 42;
+          properties = [ p ];
+        }
+      in
+      let t0 = Sys.time () in
+      let report = Check.Runner.run config in
+      let dt = Sys.time () -. t0 in
+      total := !total +. dt;
+      Printf.printf "%-36s %7d %8d %6d %8.2fs\n" p.Check.Property.name
+        report.Check.Runner.checks report.Check.Runner.skipped
+        (List.length report.Check.Runner.failures)
+        dt)
+    Check.Property.all;
+  Printf.printf "(total %.2fs; replay any failure with: diag fuzz --runs 1 --seed N\n\
+                \ --property NAME — see `diag fuzz --list-properties`)\n" !total
+
+(* ------------------------------------------------------------------ *)
 (* bechamel timings                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -705,6 +740,7 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   metrics_section stats_json_file;
   if not no_timings then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

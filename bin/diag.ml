@@ -352,6 +352,113 @@ let verify_cmd =
        ~doc:"Check the paper's theorems (1, 3, 4, Prop. 1) on a net and alarm sequence.")
     Term.(const run $ file_arg $ alarms_opt $ seed $ stats_arg $ trace_arg)
 
+(* ---------------- fuzz ---------------- *)
+
+(* Differential fuzzing of the engine pairs (lib/check): every property is
+   a theorem of the paper; failures are shrunk and printed with a replay
+   recipe. Deterministic for a given seed. *)
+
+let fuzz_cmd =
+  let run runs seed spec_str steps policy_str loss props list_props max_shrink verbose
+      stats trace =
+    enable_trace trace;
+    if list_props then begin
+      List.iter
+        (fun p ->
+          Printf.printf "%-34s %s\n" p.Check.Property.name p.Check.Property.theorem)
+        Check.Property.all;
+      exit 0
+    end;
+    let or_die = function
+      | Ok v -> v
+      | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    in
+    let pin_spec =
+      Option.map (fun s -> or_die (Check.Gen.spec_of_string s)) spec_str
+    in
+    let pin_policy =
+      Option.map (fun s -> or_die (Check.Gen.policy_of_string s)) policy_str
+    in
+    (match loss with
+    | Some l when l < 0.0 || l >= 1.0 ->
+      Printf.eprintf "error: --loss must be in [0, 1)\n";
+      exit 2
+    | _ -> ());
+    let properties =
+      match props with
+      | [] -> Check.Property.all
+      | names ->
+        List.map
+          (fun n ->
+            match Check.Property.find n with
+            | Some p -> p
+            | None ->
+              Printf.eprintf "error: unknown property %S (try --list-properties)\n" n;
+              exit 2)
+          names
+    in
+    let config =
+      {
+        Check.Runner.runs;
+        seed;
+        pins =
+          { Check.Gen.pin_spec; pin_steps = steps; pin_policy; pin_loss = loss };
+        properties;
+        max_shrink_checks = max_shrink;
+      }
+    in
+    let on_case c = if verbose then print_endline (Check.Gen.describe c) in
+    let report = Check.Runner.run ~on_case config in
+    print_endline (Check.Runner.print_report config report);
+    print_stats stats;
+    if report.Check.Runner.failures <> [] then exit 1
+  in
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of cases (consecutive seeds).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed of the first case.") in
+  let spec =
+    Arg.(value & opt (some string) None
+         & info [ "spec" ] ~docv:"SPEC"
+             ~doc:"Pin the net shape, e.g. \
+                   'peers=2,components=2,places=3,local=3,sync=2,alphabet=3' \
+                   (omitted keys keep defaults).")
+  in
+  let steps =
+    Arg.(value & opt (some int) None
+         & info [ "steps" ] ~doc:"Pin the scenario length (random firings).")
+  in
+  let policy =
+    Arg.(value & opt (some string) None
+         & info [ "policy" ] ~doc:"Pin the delivery policy: random, round-robin, fifo.")
+  in
+  let loss =
+    Arg.(value & opt (some float) None
+         & info [ "loss" ] ~doc:"Pin the loss rate for the lossy properties (in [0, 1)).")
+  in
+  let props =
+    Arg.(value & opt_all string []
+         & info [ "property" ] ~docv:"NAME"
+             ~doc:"Run only this property (repeatable; default: all).")
+  in
+  let list_props =
+    Arg.(value & flag & info [ "list-properties" ] ~doc:"List properties and exit.")
+  in
+  let max_shrink =
+    Arg.(value & opt int 200
+         & info [ "max-shrink" ] ~doc:"Per-failure shrinking budget (property evaluations).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each case before running it.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz every engine pair against the paper's theorems.")
+    Term.(const run $ runs $ seed $ spec $ steps $ policy $ loss $ props $ list_props
+          $ max_shrink $ verbose $ stats_arg $ trace_arg)
+
 (* ---------------- generate ---------------- *)
 
 let generate_cmd =
@@ -397,4 +504,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "diag" ~version:"1.0.0" ~doc)
-          [ info_cmd; dot_cmd; unfold_cmd; encode_cmd; diagnose_cmd; verify_cmd; rewrite_cmd; generate_cmd ]))
+          [ info_cmd; dot_cmd; unfold_cmd; encode_cmd; diagnose_cmd; verify_cmd; rewrite_cmd; generate_cmd; fuzz_cmd ]))

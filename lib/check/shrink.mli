@@ -1,0 +1,30 @@
+(** Counterexample minimization by net and observation surgery.
+
+    Greedy: repeatedly try structurally smaller variants of a failing
+    instance — drop a whole one-token component, truncate the alarm
+    sequence, drop a single transition — keeping the first variant on
+    which the property still fails, until a fixpoint or the check budget
+    runs out. All variants of a safe instance are safe (removal only ever
+    removes behavior), so properties stay applicable. *)
+
+type result = {
+  instance : Property.instance;  (** the minimized failing instance *)
+  steps : int;  (** accepted shrink steps *)
+  checks : int;  (** property evaluations spent *)
+}
+
+val components : Petri.Net.t -> string list list
+(** The one-token components of a generated net, as place-id groups:
+    connected components of places under "transition moves a token from
+    pre[i] to post[i]" (transitions with mismatched pre/post arities
+    conservatively merge everything they touch). *)
+
+val candidates : Property.instance -> Property.instance list
+(** Structurally smaller variants, most aggressive first; every returned
+    net is well-formed. Empty when the instance is minimal. *)
+
+val shrink :
+  ?max_checks:int -> check:(Property.instance -> Property.outcome) -> Property.instance ->
+  result
+(** Minimize a failing instance. [check] must be total (as the checks of
+    {!Property.all} are). Default budget: 200 evaluations. *)

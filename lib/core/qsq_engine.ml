@@ -427,6 +427,10 @@ let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
     edb;
   t
 
+let set_tracing (t : t) b = Sim.set_tracing t.sim b
+let delivery_trace (t : t) = Sim.delivery_trace t.sim
+let metrics (t : t) = Sim.metrics t.sim
+
 type outcome = {
   answers : Atom.t list;
   deliveries : int;

@@ -66,6 +66,21 @@ val solve :
 
 val peer_store : t -> string -> Fact_store.t
 
+val set_tracing : t -> bool -> unit
+(** Enable the underlying simulator's delivery trace (before {!run}). *)
+
+val delivery_trace : t -> (string * string * string) list
+(** [(src, dst, description)] per delivery, in delivery order; empty unless
+    tracing was enabled. The determinism contract of {!Network.Sim}
+    ("same seed and policy: same run") lifts to this trace, which is what
+    the [seed-determinism] property of [lib/check] pins down. *)
+
+val metrics : t -> Obs.Metrics.registry
+(** The underlying simulator's per-instance registry ([sim.sent],
+    [sim.delivered], [sim.dropped], [sim.bytes]) — counters only, so its
+    {!Obs.Snapshot} is byte-identical across same-seed runs (unlike the
+    process-wide registry, whose histograms record wall-clock times). *)
+
 val zeta_facts : t -> string list
 (** Union of all peer stores with every ["@peer"] segment stripped from the
     relation names — the zeta mapping of Theorem 1, comparable to the

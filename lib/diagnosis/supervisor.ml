@@ -127,19 +127,31 @@ let build_general ?(supervisor = "supervisor") ?place_peers ?(hidden_peers = [])
      the index along an automaton transition. *)
   let g_u_c = Term.app "g" [ v "U"; v "C" ] in
   let g_v_c0 = Term.app "g" [ v "V"; v "C0" ] in
+  (* The new event is named explicitly: f(T, g(U,C), g(V,C0)) for the
+     transition T the alarm (or hiddenNet) row selected. Asking trans@p
+     with a free event variable instead would admit any event whose
+     parents instantiate the places (C, C0) — when two transitions of one
+     peer share a preset, an event of the wrong transition (wrong alarm
+     label!) would extend the configuration, and goal-directed evaluation
+     would materialize events the dedicated algorithm of Theorem 4 never
+     constructs. The bound term makes head unification filter them out
+     before any subquery is issued. Found by the lib/check fuzzer
+     (seed 2030, qsq-vs-reference). *)
+  let new_event = Term.app "f" [ v "T"; g_u_c; g_v_c0 ] in
   let extension_tail p =
     [ pos_lit ~rel:"transInConf" ~peer:p0 [ v "Z"; v "U" ];
       pos_lit ~rel:"transInConf" ~peer:p0 [ v "Z"; v "V" ];
       pos_lit ~rel:"notParent" ~peer:p0 [ v "Z"; g_u_c ];
       pos_lit ~rel:"notParent" ~peer:p0 [ v "Z"; g_v_c0 ];
-      pos_lit ~rel:"trans" ~peer:p [ v "X"; g_u_c; g_v_c0 ] ]
+      pos_lit ~rel:"trans" ~peer:p [ new_event; g_u_c; g_v_c0 ] ]
   in
   List.iter
     (fun p ->
       emit
         (Drule.make
            (datom ~rel:"configPrefixes" ~peer:p0
-              [ Term.app "h" [ v "Z"; v "X" ]; v "Z"; v "X"; ix_with p (v "I1") ])
+              [ Term.app "h" [ v "Z"; new_event ]; v "Z"; new_event;
+                ix_with p (v "I1") ])
            ([ pos_lit ~rel:"alarmSeq" ~peer:p0 [ v "I0"; v "A"; c p; v "I1" ];
               pos_lit ~rel:"petriNet" ~peer:p [ v "T"; v "A"; v "C"; v "C0" ];
               pos_lit ~rel:"configPrefixes" ~peer:p0
@@ -153,7 +165,7 @@ let build_general ?(supervisor = "supervisor") ?place_peers ?(hidden_peers = [])
       emit
         (Drule.make
            (datom ~rel:"configPrefixes" ~peer:p0
-              [ Term.app "h" [ v "Z"; v "X" ]; v "Z"; v "X"; ix_all_vars ])
+              [ Term.app "h" [ v "Z"; new_event ]; v "Z"; new_event; ix_all_vars ])
            ([ pos_lit ~rel:"hiddenNet" ~peer:p [ v "T"; v "C"; v "C0" ];
               pos_lit ~rel:"configPrefixes" ~peer:p0 [ v "Z"; v "W"; v "Y"; ix_all_vars ] ]
            @ extension_tail p)))

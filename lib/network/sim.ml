@@ -201,7 +201,7 @@ let run ?(max_steps = 10_000_000) t =
   let n = ref 0 in
   while step t do
     incr n;
-    if !n > max_steps then raise (Budget_exhausted !n)
+    if !n > max_steps then raise (Budget_exhausted max_steps)
   done;
   !n
 

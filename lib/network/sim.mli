@@ -48,6 +48,7 @@ val step : 'msg t -> bool
 (** Deliver one message; [false] at quiescence. *)
 
 exception Budget_exhausted of int
+(** The payload is the exhausted budget ([max_steps]) itself. *)
 
 val run : ?max_steps:int -> 'msg t -> int
 (** Deliver until quiescent; returns the number of deliveries.

@@ -29,7 +29,47 @@ let default_spec =
     alarm_symbols = 3;
   }
 
+(* [distinct_pair] below draws two different places of one component; with
+   fewer than two places it would loop forever, so reject such specs (and
+   other nonsense) up front instead of hanging the caller. *)
+let validate (spec : spec) =
+  let fail what = invalid_arg (Printf.sprintf "Petri.Generator: %s" what) in
+  if spec.peers < 1 then fail "peers must be >= 1";
+  if spec.components_per_peer < 1 then fail "components_per_peer must be >= 1";
+  if spec.places_per_component < 2 then
+    fail "places_per_component must be >= 2 (transitions move the token between \
+          two distinct places)";
+  if spec.local_transitions < 0 then fail "local_transitions must be >= 0";
+  if spec.sync_transitions < 0 then fail "sync_transitions must be >= 0";
+  if spec.alarm_symbols < 1 then fail "alarm_symbols must be >= 1"
+
+(* Shrink hook for property-based testers: structurally smaller specs, most
+   aggressive first. Every result is valid whenever the input is. *)
+let shrink_spec (spec : spec) : spec list =
+  let candidates =
+    [ (fun s -> { s with peers = s.peers / 2 });
+      (fun s -> { s with peers = s.peers - 1 });
+      (fun s -> { s with components_per_peer = s.components_per_peer / 2 });
+      (fun s -> { s with components_per_peer = s.components_per_peer - 1 });
+      (fun s -> { s with sync_transitions = 0 });
+      (fun s -> { s with sync_transitions = s.sync_transitions / 2 });
+      (fun s -> { s with sync_transitions = s.sync_transitions - 1 });
+      (fun s -> { s with local_transitions = s.local_transitions / 2 });
+      (fun s -> { s with local_transitions = s.local_transitions - 1 });
+      (fun s -> { s with places_per_component = s.places_per_component / 2 });
+      (fun s -> { s with places_per_component = s.places_per_component - 1 });
+      (fun s -> { s with alarm_symbols = 1 })
+    ]
+  in
+  List.filter_map
+    (fun f ->
+      let s = f spec in
+      if s = spec then None
+      else match validate s with () -> Some s | exception Invalid_argument _ -> None)
+    candidates
+
 let generate ~rng (spec : spec) : Net.t =
+  validate spec;
   let n_comp = spec.peers * spec.components_per_peer in
   let peer_of_comp c = Printf.sprintf "p%d" (c mod spec.peers) in
   let place c i = Printf.sprintf "s%d_%d" c i in

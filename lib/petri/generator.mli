@@ -16,7 +16,20 @@ type spec = {
 
 val default_spec : spec
 
+val validate : spec -> unit
+(** @raise Invalid_argument on specs {!generate} cannot realize: fewer than
+    two places per component (the construction needs two distinct places to
+    move the token between — with one it would loop forever), no peers or
+    components, negative transition counts, an empty alarm alphabet. *)
+
+val shrink_spec : spec -> spec list
+(** Structurally smaller valid specs, most aggressive reductions first —
+    the shrink hook used by the [lib/check] fuzzer to minimize failing
+    cases at the spec level before net-level surgery. Empty once the spec
+    is minimal. *)
+
 val generate : rng:Random.State.t -> spec -> Net.t
+(** @raise Invalid_argument on invalid specs (see {!validate}). *)
 
 val scenario : rng:Random.State.t -> steps:int -> Net.t -> string list * Alarm.t
 (** Execute the net randomly for [steps] firings and deliver the emitted

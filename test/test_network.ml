@@ -86,6 +86,69 @@ let test_unknown_peer () =
   | exception Sim.Unknown_peer "ghost" -> ()
   | _ -> Alcotest.fail "should reject unknown destination"
 
+let test_unknown_peer_among_registered () =
+  (* registration of other peers does not make an unregistered destination
+     reachable, and the exception names the missing peer *)
+  let sim = Sim.create () in
+  Sim.add_peer sim "a" (fun _ ~src:_ _ -> ());
+  Sim.add_peer sim "b" (fun _ ~src:_ _ -> ());
+  Alcotest.(check bool) "has a" true (Sim.has_peer sim "a");
+  Alcotest.(check bool) "no ghost" false (Sim.has_peer sim "ghost");
+  (match Sim.send sim ~src:"a" ~dst:"ghost" (Ping 1) with
+  | exception Sim.Unknown_peer "ghost" -> ()
+  | _ -> Alcotest.fail "should reject unknown destination");
+  (* the failed send is not accounted and nothing is queued *)
+  Alcotest.(check int) "nothing sent" 0 (Sim.stats sim).Sim.sent;
+  Alcotest.(check bool) "still quiescent" true (Sim.is_quiescent sim)
+
+let test_budget_carries_value () =
+  (* the exception payload is the exhausted budget itself *)
+  let sim = Sim.create ~seed:1 () in
+  Sim.add_peer sim "a" (fun sim ~src:_ m -> Sim.send sim ~src:"a" ~dst:"b" m);
+  Sim.add_peer sim "b" (fun sim ~src:_ m -> Sim.send sim ~src:"b" ~dst:"a" m);
+  Sim.send sim ~src:"e" ~dst:"a" (Ping 0);
+  match Sim.run ~max_steps:37 sim with
+  | exception Sim.Budget_exhausted n -> Alcotest.(check int) "budget in payload" 37 n
+  | _ -> Alcotest.fail "should not terminate"
+
+let test_loss_injection_drops () =
+  (* with loss injected, drops actually happen, are accounted, and the
+     bookkeeping stays consistent: sent = delivered + dropped, and only
+     delivered messages reach the handler *)
+  let received = ref 0 in
+  let sim = Sim.create ~seed:5 ~loss:0.5 () in
+  Sim.add_peer sim "x" (fun _ ~src:_ _ -> incr received);
+  let n = 200 in
+  for i = 1 to n do
+    Sim.send sim ~src:"e" ~dst:"x" (Ping i)
+  done;
+  ignore (Sim.run sim);
+  let s = Sim.stats sim in
+  Alcotest.(check int) "all sends accounted" n s.Sim.sent;
+  Alcotest.(check bool) "some messages dropped" true (s.Sim.dropped > 0);
+  Alcotest.(check bool) "some messages survive" true (s.Sim.delivered > 0);
+  Alcotest.(check int) "sent = delivered + dropped" n (s.Sim.delivered + s.Sim.dropped);
+  Alcotest.(check int) "handler saw exactly the delivered" s.Sim.delivered !received
+
+let test_loss_zero_drops_nothing () =
+  let sim = Sim.create ~seed:5 ~loss:0.0 () in
+  Sim.add_peer sim "x" (fun _ ~src:_ _ -> ());
+  for i = 1 to 50 do
+    Sim.send sim ~src:"e" ~dst:"x" (Ping i)
+  done;
+  ignore (Sim.run sim);
+  let s = Sim.stats sim in
+  Alcotest.(check int) "no drops" 0 s.Sim.dropped;
+  Alcotest.(check int) "all delivered" 50 s.Sim.delivered
+
+let test_loss_validated () =
+  (match Sim.create ~loss:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | (_ : msg Sim.t) -> Alcotest.fail "loss = 1.0 should be rejected");
+  match Sim.create ~loss:(-0.1) () with
+  | exception Invalid_argument _ -> ()
+  | (_ : msg Sim.t) -> Alcotest.fail "negative loss should be rejected"
+
 (* --------------------- termination detection ---------------------- *)
 
 (* A diffusing computation: each peer, on receiving [n], forwards [n-1] to a
@@ -145,7 +208,13 @@ let suite =
         Alcotest.test_case "handlers can send" `Quick test_handlers_can_send;
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "budget" `Quick test_budget;
-        Alcotest.test_case "unknown peer" `Quick test_unknown_peer ] );
+        Alcotest.test_case "budget carries value" `Quick test_budget_carries_value;
+        Alcotest.test_case "unknown peer" `Quick test_unknown_peer;
+        Alcotest.test_case "unknown peer among registered" `Quick
+          test_unknown_peer_among_registered;
+        Alcotest.test_case "loss injection drops" `Quick test_loss_injection_drops;
+        Alcotest.test_case "loss zero drops nothing" `Quick test_loss_zero_drops_nothing;
+        Alcotest.test_case "loss rate validated" `Quick test_loss_validated ] );
     ( "termination",
       [ Alcotest.test_case "detects termination" `Quick test_ds_detects_termination;
         Alcotest.test_case "never announces early" `Quick
