@@ -73,7 +73,7 @@ let fig3_edb () =
   [ d "A" "r" "1" "2"; d "A" "r" "2" "3"; d "B" "s" "2" "7"; d "B" "s" "3" "8";
     d "C" "t" "7" "4"; d "C" "t" "8" "5" ]
 
-let fig3_query () = Datom.make ~rel:"R" ~peer:"r" [ Term.const "1"; Term.Var "Y" ]
+let fig3_query () = Datom.make ~rel:"R" ~peer:"r" [ Term.const "1"; Term.var "Y" ]
 
 (* ------------------------------------------------------------------ *)
 (* E3: Figure 4 — the QSQ rewriting                                     *)
@@ -124,7 +124,7 @@ let e4 () =
 (* ------------------------------------------------------------------ *)
 
 let ring_program k =
-  let v x = Term.Var x in
+  let v x = Term.var x in
   let rules =
     List.concat_map
       (fun i ->
@@ -159,7 +159,7 @@ let e5 () =
     (fun (k, edges, seed) ->
       let program = ring_program k in
       let edb = ring_edb ~seed k ~edges in
-      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
       let t = Qsq_engine.create ~seed program ~edb ~query in
       let _ = Qsq_engine.run t ~query in
       let dqsq_facts = Qsq_engine.zeta_facts t in
@@ -348,7 +348,7 @@ let e10 () =
   Printf.printf "%6s | %10s %12s %10s %10s\n" "k" "naive" "semi-naive" "QSQ" "magic";
   List.iter
     (fun k ->
-      let query = Atom.make "tc" [ Term.const (Printf.sprintf "n%d" (k - 1)); Term.Var "Y" ] in
+      let query = Atom.make "tc" [ Term.const (Printf.sprintf "n%d" (k - 1)); Term.var "Y" ] in
       let s_naive = chain_edb k in
       ignore (Eval.naive tc_program s_naive);
       let s_semi = chain_edb k in
@@ -380,7 +380,7 @@ let e11 () =
               [ Term.const (Printf.sprintf "n%d" i); Term.const (Printf.sprintf "n%d" (i + 1)) ])
       in
       let edb = chain @ ring_edb ~seed ~domain:30 k ~edges in
-      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
       let nv = Naive_engine.solve ~seed program ~edb ~query in
       let dq = Qsq_engine.solve ~seed program ~edb ~query in
       Printf.printf "%6d %6d | %12d %10d | %12d %10d\n" k edges
@@ -603,6 +603,61 @@ let e17 () =
                 \ --property NAME — see `diag fuzz --list-properties`)\n" !total
 
 (* ------------------------------------------------------------------ *)
+(* E18: hash-consing hot path — deep-unfolding wall time               *)
+(* ------------------------------------------------------------------ *)
+
+(* The diagnosis encoding manufactures node identities from nested Skolem
+   spines; these scenarios are the deep-term workloads whose inner loops
+   (Fact_store.iter_matches / Unify.match_lists) the hash-consed term
+   representation accelerates. Each row reports wall time, the number of
+   index candidates the fact store touched, and candidate throughput; the
+   term.interned / term.hashcons_hits columns read 0 on builds predating
+   the hash-consed representation, which is how the before/after table of
+   EXPERIMENTS.md was produced from the same harness. *)
+let e18_scenarios ~ci =
+  let unfold name depth net = (name, fun () -> ignore (Diagnoser.full_unfolding_materialization ~depth net)) in
+  let diagnose_ring name ?(peers = 3) ~seed ~steps () =
+    ( name,
+      fun () ->
+        let net = Petri.Net.binarize (Petri.Examples.ring ~peers ()) in
+        let firing = Petri.Exec.random_execution ~rng:(rng seed) ~steps net in
+        let a = alarms (Petri.Exec.alarms_of_execution net firing) in
+        ignore (Diagnoser.diagnose ~engine:Diagnoser.Centralized_qsq net a) )
+  in
+  if ci then
+    [ unfold "full-unfold/running@d7" 7 (running_net ());
+      diagnose_ring "diagnose-qsq/ring3@s3" ~seed:103 ~steps:3 () ]
+  else
+    [ unfold "full-unfold/running@d10" 10 (running_net ());
+      unfold "full-unfold/toggles3@d9" 9
+        (Petri.Net.binarize (Petri.Examples.toggles ~width:3 ~peer:"p" ()));
+      diagnose_ring "diagnose-qsq/ring3@s6" ~seed:106 ~steps:6 ();
+      diagnose_ring "diagnose-qsq/ring4@s7" ~peers:4 ~seed:107 ~steps:7 ();
+      unfold "full-unfold/toggles3@d13" 13
+        (Petri.Net.binarize (Petri.Examples.toggles ~width:3 ~peer:"p" ())) ]
+
+let counter_now name = Obs.Metrics.counter_value name
+
+let e18 ?(ci = false) () =
+  section "E18" "Hash-consing hot path: deep-unfolding wall time, candidate throughput";
+  Printf.printf "%-26s %9s %12s %12s %10s %10s\n" "scenario" "wall" "candidates" "cand/s"
+    "interned" "hc-hits";
+  List.iter
+    (fun (name, f) ->
+      Gc.compact ();
+      let c0 = counter_now "fact_store.candidates" in
+      let i0 = counter_now "term.interned" and h0 = counter_now "term.hashcons_hits" in
+      let t0 = Obs.Clock.now_s () in
+      f ();
+      let dt = Obs.Clock.now_s () -. t0 in
+      let dc = counter_now "fact_store.candidates" - c0 in
+      Printf.printf "%-26s %8.3fs %12d %12.0f %10d %10d\n" name dt dc
+        (float_of_int dc /. Float.max dt 1e-9)
+        (counter_now "term.interned" - i0)
+        (counter_now "term.hashcons_hits" - h0))
+    (e18_scenarios ~ci)
+
+(* ------------------------------------------------------------------ *)
 (* bechamel timings                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -658,13 +713,13 @@ let timings () =
         (Staged.stage (fun () ->
              ignore
                (Qsq.solve tc_program
-                  (Atom.make "tc" [ Term.const "n31"; Term.Var "Y" ])
+                  (Atom.make "tc" [ Term.const "n31"; Term.var "Y" ])
                   (chain_edb 32))));
       Test.make ~name:"strategy/magic-chain32"
         (Staged.stage (fun () ->
              ignore
                (Magic.solve tc_program
-                  (Atom.make "tc" [ Term.const "n31"; Term.Var "Y" ])
+                  (Atom.make "tc" [ Term.const "n31"; Term.var "Y" ])
                   (chain_edb 32)))) ]
   in
   let grouped = Test.make_grouped ~name:"bench" tests in
@@ -713,34 +768,75 @@ let metrics_section stats_json_file =
     close_out oc;
     Printf.printf "(JSON snapshot written to %s)\n" path
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_diag.json: the perf-trajectory snapshot                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per bench run: per-experiment wall time plus the key Obs
+   counters, so successive PRs can diff throughput without re-reading the
+   tables. Counters absent from the build (e.g. term.interned before the
+   hash-consed representation) are reported as 0. *)
+let key_counters =
+  [ "fact_store.probes"; "fact_store.candidates"; "fact_store.full_scans";
+    "fact_store.index_builds"; "eval.rules_fired"; "eval.facts_derived";
+    "qsq.facts_derived"; "term.interned"; "term.hashcons_hits" ]
+
+let write_bench_json path (times : (string * float) list) =
+  let buf = Buffer.create 1024 in
+  let fields to_field l =
+    String.concat ",\n" (List.map (fun x -> "    " ^ to_field x) l)
+  in
+  Buffer.add_string buf "{\n  \"experiments\": {\n";
+  Buffer.add_string buf
+    (fields (fun (id, dt) -> Printf.sprintf "%S: %.6f" id dt) times);
+  Buffer.add_string buf "\n  },\n  \"counters\": {\n";
+  Buffer.add_string buf
+    (fields (fun name -> Printf.sprintf "%S: %d" name (counter_now name)) key_counters);
+  Buffer.add_string buf "\n  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "(bench snapshot written to %s)\n" path
+
 let () =
   let no_timings = Array.exists (fun a -> a = "--no-timings") Sys.argv in
-  let stats_json_file =
+  let ci = Array.exists (fun a -> a = "--ci") Sys.argv in
+  let arg_value name =
     let rec go i =
       if i >= Array.length Sys.argv then None
-      else if Sys.argv.(i) = "--stats-json" && i + 1 < Array.length Sys.argv then
+      else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
         Some Sys.argv.(i + 1)
       else go (i + 1)
     in
     go 1
   in
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
+  let stats_json_file = arg_value "--stats-json" in
+  let bench_json_file =
+    Option.value ~default:"BENCH_diag.json" (arg_value "--bench-json")
+  in
+  let only = arg_value "--only" in
+  let experiments =
+    if ci then [ ("E18", fun () -> e18 ~ci:true ()) ]
+    else
+      [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+        ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+        ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+        ("E17", e17); ("E18", fun () -> e18 ()) ]
+  in
+  let experiments =
+    match only with
+    | None -> experiments
+    | Some id -> List.filter (fun (i, _) -> i = id) experiments
+  in
+  let times =
+    List.map
+      (fun (id, f) ->
+        let t0 = Obs.Clock.now_s () in
+        f ();
+        (id, Obs.Clock.now_s () -. t0))
+      experiments
+  in
   metrics_section stats_json_file;
-  if not no_timings then timings ();
+  write_bench_json bench_json_file times;
+  if not (no_timings || ci) then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

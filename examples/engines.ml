@@ -47,7 +47,7 @@ let () =
   let magic_store, magic_res, _ = Magic.solve local query (local_store ()) in
 
   (* (iii) dQSQ on the distributed program *)
-  let dquery = Datom.make ~rel:"R" ~peer:"r" [ Term.const "1"; Term.Var "Y" ] in
+  let dquery = Datom.make ~rel:"R" ~peer:"r" [ Term.const "1"; Term.var "Y" ] in
   let t = Qsq_engine.create ~seed:42 dprog ~edb:(edb_datoms ()) ~query:dquery in
   let out = Qsq_engine.run t ~query:dquery in
   Printf.printf "== dQSQ evaluation (Figure 5) ==\n";

@@ -22,11 +22,12 @@ let compare a b =
   if c <> 0 then c
   else
     let c = String.compare a.peer b.peer in
-    if c <> 0 then c else List.compare Term.compare a.args b.args
+    (* structural term order: [compare] must stay stable across runs *)
+    if c <> 0 then c else List.compare Term.compare_structural a.args b.args
 
 let vars a =
-  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
-  List.fold_left (Term.vars_fold add) [] a.args
+  let add acc x = if List.mem x acc then acc else x :: acc in
+  List.rev (List.fold_left (Term.vars_fold add) [] a.args)
 
 let is_ground a = List.for_all Term.is_ground a.args
 let apply s a = { a with args = List.map (Subst.apply s) a.args }

@@ -24,10 +24,19 @@ module Ds = Network.Termination
 module Var_set = Adornment.Var_set
 
 (* Variables of a list of terms, in order of first occurrence (shared with
-   the centralized rewriting — must stay aligned for Theorem 1). *)
+   the centralized rewriting — must stay aligned for Theorem 1). Set-based
+   membership and reverse accumulation: this runs for every rule/adornment
+   pair of the distributed rewriting. *)
 let terms_vars terms =
-  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
-  List.fold_left (Term.vars_fold add) [] terms
+  let seen = ref Var_set.empty in
+  let add acc x =
+    if Var_set.mem x !seen then acc
+    else begin
+      seen := Var_set.add x !seen;
+      x :: acc
+    end
+  in
+  List.rev (List.fold_left (Term.vars_fold add) [] terms)
 
 type peer_state = {
   rt : Runtime.t;
@@ -90,7 +99,7 @@ let sup_at ~rel ~ad ~rule_index ~pos ~peer =
     ~rel:(Symbol.name (Adornment.sup_sym (Symbol.intern rel) ad ~rule_index ~pos))
     ~peer
 
-let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.Var x) vars)
+let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.var x) vars)
 
 let fresh_counter = ref 0
 
@@ -248,7 +257,7 @@ and demand t p ~rel ~ad =
         (var_atom (adorned_at ~rel ~ad ~peer:p) xs)
         [ Rule.Pos
             (Atom.cmake (input_at ~rel ~ad ~peer:p)
-               (Adornment.bound_args ad (List.map (fun x -> Term.Var x) xs)));
+               (Adornment.bound_args ad (List.map (fun x -> Term.var x) xs)));
           Rule.Pos (var_atom (Datom.mangle_rel ~rel ~peer:p) xs) ]
     in
     install_and_eval t p [ bridge ];
@@ -264,7 +273,7 @@ and demand t p ~rel ~ad =
         let suffix = Printf.sprintf "~%d" !fresh_counter in
         let s =
           Subst.of_list
-            (List.map (fun x -> (x, Term.Var (x ^ suffix))) (Drule.vars r0))
+            (List.map (fun x -> (x, Term.var (x ^ suffix))) (Drule.vars r0))
         in
         let rename_datom (a : Datom.t) =
           { a with Datom.args = List.map (Subst.apply s) a.Datom.args }

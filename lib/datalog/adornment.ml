@@ -21,7 +21,7 @@ let bound_count (ad : t) = Array.fold_left (fun acc b -> if b then acc + 1 else 
 module Var_set = Set.Make (String)
 
 let term_bound bound (t : Term.t) =
-  Term.vars_fold (fun acc x -> acc && Var_set.mem x bound) true t
+  Term.is_ground t || Term.vars_fold (fun acc x -> acc && Var_set.mem x bound) true t
 
 (** Adornment of an atom given the set of currently bound variables. *)
 let of_atom bound (a : Atom.t) : t =

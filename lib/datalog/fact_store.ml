@@ -11,7 +11,9 @@
 (* The generic [Hashtbl.hash] only samples a bounded prefix of a value; the
    diagnosis programs generate tuples sharing deep Skolem-term spines
    (configuration ids h(h(h(...)))), which would all collide and degrade
-   the tables to linear scans. Hash tuples with the full-depth term hash. *)
+   the tables to linear scans. [Term.hash] is the full-depth structural
+   hash, cached at hash-consing time, so hashing a tuple is O(arity) and
+   tuple equality is a pointwise pointer comparison. *)
 module Tuple_tbl = Hashtbl.Make (struct
   type t = Term.t list
 
@@ -43,6 +45,17 @@ let rel_store t rel =
     Hashtbl.add t.rels rel rs;
     rs
 
+(* Project [args] onto the (sorted, ascending) position mask with a single
+   merge walk — O(arity), not O(arity × |mask|). *)
+let project_mask (mask : int list) (args : Term.t list) : Term.t list =
+  let rec go i mask args =
+    match mask, args with
+    | [], _ | _, [] -> []
+    | m :: mask', a :: args' ->
+      if m = i then a :: go (i + 1) mask' args' else go (i + 1) mask args'
+  in
+  go 0 mask args
+
 let mem t (a : Atom.t) =
   match Hashtbl.find_opt t.rels a.Atom.rel with
   | None -> false
@@ -60,7 +73,7 @@ let add t (a : Atom.t) =
     rs.n <- rs.n + 1;
     List.iter
       (fun (mask, idx) ->
-        let key = List.filteri (fun i _ -> List.mem i mask) a.Atom.args in
+        let key = project_mask mask a.Atom.args in
         let prev = Option.value ~default:[] (Tuple_tbl.find_opt idx key) in
         Tuple_tbl.replace idx key (a.Atom.args :: prev))
       rs.indexes;
@@ -102,7 +115,7 @@ let ensure_index rs (mask : int list) =
     let idx = Tuple_tbl.create (max 64 rs.n) in
     List.iter
       (fun args ->
-        let key = List.filteri (fun i _ -> List.mem i mask) args in
+        let key = project_mask mask args in
         let prev = Option.value ~default:[] (Tuple_tbl.find_opt idx key) in
         Tuple_tbl.replace idx key (args :: prev))
       rs.tuples;

@@ -37,7 +37,7 @@ let rewrite (program : Program.t) (query : Atom.t) : t =
     let rel, ad = Queue.pop queue in
     (* Bridge rule for extensionally stored facts of IDB relations (see the
        corresponding rule in {!Qsq.rewrite}). *)
-    let xs = List.init (Array.length ad) (fun k -> Term.Var (Printf.sprintf "X%d" k)) in
+    let xs = List.init (Array.length ad) (fun k -> Term.var (Printf.sprintf "X%d" k)) in
     emit
       (Rule.make
          (Atom.cmake (Adornment.adorned_sym rel ad) xs)

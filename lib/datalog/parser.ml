@@ -101,7 +101,7 @@ let rec parse_term st : Term.t =
   match peek st with
   | VAR x ->
     advance st;
-    Term.Var x
+    Term.var x
   | STRING s ->
     advance st;
     Term.const s
@@ -175,7 +175,7 @@ let parse_literal st : raw_literal =
     | NEQ ->
       advance st;
       let rhs = parse_term st in
-      Rneq (Term.Var x, rhs)
+      Rneq (Term.var x, rhs)
     (* An uppercase word applied to arguments or located at a peer is a
        relation name (the paper writes relations R, S, T...). *)
     | AT | LPAR -> Ratom (parse_atom_from x st)

@@ -28,12 +28,21 @@ type t = {
   answer_pattern : Atom.t;  (** [Q^ad(query args)], to read answers back *)
 }
 
-let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.Var x) vars)
+let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.var x) vars)
 
-(* Variables of a list of terms, in order of first occurrence. *)
+(* Variables of a list of terms, in order of first occurrence. Runs inside
+   the rewriting loop for every rule/adornment pair, so membership is a set
+   test and the order list is reverse-accumulated, not appended to. *)
 let terms_vars terms =
-  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
-  List.fold_left (Term.vars_fold add) [] terms
+  let seen = ref Var_set.empty in
+  let add acc x =
+    if Var_set.mem x !seen then acc
+    else begin
+      seen := Var_set.add x !seen;
+      x :: acc
+    end
+  in
+  List.rev (List.fold_left (Term.vars_fold add) [] terms)
 
 let rewrite (program : Program.t) (query : Atom.t) : t =
   let idb = Program.idb_relations program in
@@ -60,7 +69,7 @@ let rewrite (program : Program.t) (query : Atom.t) : t =
     let plain = var_atom rel xs in
     let in_bridge =
       Atom.cmake (Adornment.input_sym rel ad)
-        (Adornment.bound_args ad (List.map (fun x -> Term.Var x) xs))
+        (Adornment.bound_args ad (List.map (fun x -> Term.var x) xs))
     in
     emit
       (Rule.make

@@ -29,11 +29,23 @@ let literal_vars = function
   | Pos a | Neg a -> Atom.vars a
   | Neq (x, y) -> Term.vars x @ Term.vars y
 
+(* variables of the whole rule, first occurrence first (head, then body);
+   set-based membership — this runs on every [freshen] *)
 let vars r =
-  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
-  List.fold_left
-    (fun acc l -> List.fold_left add acc (literal_vars l))
-    (Atom.vars r.head) r.body
+  let module S = Set.Make (String) in
+  let seen = ref S.empty in
+  let add acc x =
+    if S.mem x !seen then acc
+    else begin
+      seen := S.add x !seen;
+      x :: acc
+    end
+  in
+  List.rev
+    (List.fold_left
+       (fun acc l -> List.fold_left add acc (literal_vars l))
+       (List.fold_left add [] (Atom.vars r.head))
+       r.body)
 
 (** Check the range restriction: every variable of the head and of each
     disequality occurs in some positive body atom. Returns the offending
@@ -74,7 +86,7 @@ let freshen =
     incr counter;
     let suffix = Printf.sprintf "~%d" !counter in
     let s =
-      Subst.of_list (List.map (fun x -> (x, Term.Var (x ^ suffix))) (vars r))
+      Subst.of_list (List.map (fun x -> (x, Term.var (x ^ suffix))) (vars r))
     in
     apply s r
 

@@ -1,71 +1,144 @@
-(** First-order terms with function symbols.
+(** Hash-consed first-order terms with function symbols.
 
     The paper departs from classical Datalog by allowing function symbols
     (Section 3): they are needed to create the identities of unfolding nodes
     (the Skolem functions [f], [g], [h] of Section 4). Variables are named by
-    strings; rule-local scoping is the responsibility of the rule type. *)
+    strings; rule-local scoping is the responsibility of the rule type.
 
-type t =
+    Every materialized diagnosis fact carries deep Skolem spines like
+    [g(t, g(u, h(...)))], and the fact store, unifier and QSQ engines probe
+    the same spines over and over. Terms are therefore hash-consed in the
+    style of Filliâtre–Conchon ("Type-safe modular hash-consing"): a global
+    weak table maps each structure to a unique physical representative, so
+
+    - [equal] is physical equality [(==)],
+    - [hash], [is_ground], [depth] and [size] are cached field reads,
+    - maximal sharing means an unfolding's spines are stored once.
+
+    Construction goes through the smart constructors [const] / [var] /
+    [app] / [capp]; pattern matching goes through {!view}. The table is weak:
+    terms unreachable from the program are collected by the GC. *)
+
+type t = {
+  node : node;
+  tag : int;  (** unique per structure, in order of first interning *)
+  hash : int;
+  ground : bool;
+  depth : int;
+  size : int;
+}
+
+and node =
   | Const of Symbol.t
   | Var of string
   | App of Symbol.t * t list
 
-let const s = Const (Symbol.intern s)
-let var x = Var x
-let app f args = App (Symbol.intern f, args)
-let capp f args = App (f, args)
-
-let rec equal a b =
-  match a, b with
-  | Const x, Const y -> Symbol.equal x y
-  | Var x, Var y -> String.equal x y
-  | App (f, xs), App (g, ys) ->
-    Symbol.equal f g && List.length xs = List.length ys && List.for_all2 equal xs ys
-  | (Const _ | Var _ | App _), _ -> false
-
-let rec compare a b =
-  match a, b with
-  | Const x, Const y -> Symbol.compare x y
-  | Const _, (Var _ | App _) -> -1
-  | Var _, Const _ -> 1
-  | Var x, Var y -> String.compare x y
-  | Var _, App _ -> -1
-  | App _, (Const _ | Var _) -> 1
-  | App (f, xs), App (g, ys) ->
-    let c = Symbol.compare f g in
-    if c <> 0 then c else List.compare compare xs ys
-
-let rec hash = function
-  | Const s -> Symbol.hash s
-  | Var x -> 31 * Hashtbl.hash x + 17
-  | App (f, args) -> List.fold_left (fun acc t -> (acc * 65599) + hash t) (Symbol.hash f + 7) args
-
-let rec is_ground = function
-  | Const _ -> true
-  | Var _ -> false
-  | App (_, args) -> List.for_all is_ground args
+let view t = t.node
+let equal : t -> t -> bool = ( == )
+let hash t = t.hash
+let tag t = t.tag
+let is_ground t = t.ground
 
 (** Depth of a term: constants and variables have depth 1. Used to implement
     the "gadgets to prevent non terminating computations, such as bounding
     the depth of the unfolding" of Section 4.4. *)
-let rec depth = function
-  | Const _ | Var _ -> 1
-  | App (_, args) -> 1 + List.fold_left (fun acc t -> max acc (depth t)) 0 args
+let depth t = t.depth
 
 (** Number of symbols in the term; used to approximate message sizes. *)
-let rec size = function
-  | Const _ | Var _ -> 1
-  | App (_, args) -> List.fold_left (fun acc t -> acc + size t) 1 args
+let size t = t.size
 
-let rec vars_fold f acc = function
+(* The weak hash-cons table. Children of an [App] node are already interned,
+   so structural equality of candidate nodes only compares children by
+   pointer — consing is O(arity), not O(term size). *)
+module W = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    match a.node, b.node with
+    | Const x, Const y -> Symbol.equal x y
+    | Var x, Var y -> String.equal x y
+    | App (f, xs), App (g, ys) ->
+      Symbol.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 ( == ) xs ys
+    | (Const _ | Var _ | App _), _ -> false
+
+  let hash t = t.hash
+end)
+
+let table = W.create 8192
+let next_tag = ref 0
+
+(* Registered instruments (lib/obs): distinct structures interned vs
+   constructor calls answered by an existing representative. *)
+let interned_c = Obs.Metrics.counter "term.interned"
+let hits_c = Obs.Metrics.counter "term.hashcons_hits"
+
+let hashcons node ~hash ~ground ~depth ~size =
+  let candidate = { node; tag = !next_tag; hash; ground; depth; size } in
+  let t = W.merge table candidate in
+  if t == candidate then begin
+    incr next_tag;
+    Obs.Metrics.incr interned_c
+  end
+  else Obs.Metrics.incr hits_c;
+  t
+
+let cconst s =
+  hashcons (Const s) ~hash:(Symbol.hash s) ~ground:true ~depth:1 ~size:1
+
+let const s = cconst (Symbol.intern s)
+
+let var x =
+  hashcons (Var x) ~hash:((31 * Hashtbl.hash x) + 17) ~ground:false ~depth:1 ~size:1
+
+let capp f args =
+  let hash, ground, depth, size =
+    List.fold_left
+      (fun (h, g, d, sz) t -> ((h * 65599) + t.hash, g && t.ground, max d t.depth, sz + t.size))
+      (Symbol.hash f + 7, true, 0, 1)
+      args
+  in
+  hashcons (App (f, args)) ~hash ~ground ~depth:(depth + 1) ~size
+
+let app f args = capp (Symbol.intern f) args
+
+(** Total order on terms: creation (interning) order, O(1). Deterministic
+    within a process run, but NOT stable across runs or processes — any
+    output that must be byte-identical across runs orders terms with
+    {!compare_structural} instead (the {!Set} and {!Map} below do). *)
+let compare a b = Int.compare a.tag b.tag
+
+(** Structural order (constants < variables < applications, then by symbol
+    and arguments); independent of interning history, so deterministic
+    output paths — report rendering, canonical diagnosis order, sorted
+    dumps — stay byte-identical across runs. *)
+let rec compare_structural a b =
+  if a == b then 0
+  else
+    match a.node, b.node with
+    | Const x, Const y -> Symbol.compare x y
+    | Const _, (Var _ | App _) -> -1
+    | Var _, Const _ -> 1
+    | Var x, Var y -> String.compare x y
+    | Var _, App _ -> -1
+    | App _, (Const _ | Var _) -> 1
+    | App (f, xs), App (g, ys) ->
+      let c = Symbol.compare f g in
+      if c <> 0 then c else List.compare compare_structural xs ys
+
+let rec vars_fold f acc t =
+  match t.node with
   | Const _ -> acc
   | Var x -> f acc x
-  | App (_, args) -> List.fold_left (vars_fold f) acc args
+  | App (_, args) ->
+    if t.ground then acc else List.fold_left (vars_fold f) acc args
 
 let vars t =
   List.rev (vars_fold (fun acc x -> if List.mem x acc then acc else x :: acc) [] t)
 
-let rec pp ppf = function
+let rec pp ppf t =
+  match t.node with
   | Const s -> Symbol.pp ppf s
   | Var x -> Format.pp_print_string ppf x
   | App (f, args) ->
@@ -75,9 +148,14 @@ let rec pp ppf = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Introspection for tests and diagnostics: number of live (not yet
+   collected) terms in the hash-cons table. *)
+let live_terms () = W.count table
+
 module As_key = struct
   type nonrec t = t
-  let compare = compare
+
+  let compare = compare_structural
 end
 
 module Set = Set.Make (As_key)

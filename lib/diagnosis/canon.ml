@@ -30,34 +30,43 @@ let rec term_of_name (n : Petri.Unfolding.name) : Term.t =
 exception Not_a_node of Term.t
 
 let rec name_of_term (t : Term.t) : Petri.Unfolding.name =
-  match t with
+  match Term.view t with
   | Term.App (g, [ parent; place ]) when Symbol.name g = "g" -> (
     let place =
-      match place with
+      match Term.view place with
       | Term.Const c -> Symbol.name c
       | Term.Var _ | Term.App _ -> raise (Not_a_node t)
     in
-    match parent with
+    match Term.view parent with
     | Term.Const c when Symbol.name c = root_id ->
       Petri.Unfolding.Cond_name (Petri.Unfolding.Root, place)
     | Term.Const _ | Term.Var _ -> raise (Not_a_node t)
     | Term.App _ ->
       Petri.Unfolding.Cond_name (Petri.Unfolding.Parent (name_of_term parent), place))
-  | Term.App (f, Term.Const tid :: pres) when Symbol.name f = "f" && pres <> [] ->
-    Petri.Unfolding.Event_name (Symbol.name tid, List.map name_of_term pres)
+  | Term.App (f, first :: pres) when Symbol.name f = "f" && pres <> [] -> (
+    match Term.view first with
+    | Term.Const tid ->
+      Petri.Unfolding.Event_name (Symbol.name tid, List.map name_of_term pres)
+    | Term.Var _ | Term.App _ -> raise (Not_a_node t))
   | Term.Const _ | Term.Var _ | Term.App _ -> raise (Not_a_node t)
 
-let is_event_term = function
+let is_event_term t =
+  match Term.view t with
   | Term.App (f, _) -> Symbol.name f = "f"
   | Term.Const _ | Term.Var _ -> false
 
-let is_cond_term = function
+let is_cond_term t =
+  match Term.view t with
   | Term.App (g, _) -> Symbol.name g = "g"
   | Term.Const _ | Term.Var _ -> false
 
 (** The Petri-net transition an event term instantiates. *)
-let transition_of_event_term = function
-  | Term.App (_, Term.Const tid :: _) -> Some (Symbol.name tid)
+let transition_of_event_term t =
+  match Term.view t with
+  | Term.App (_, first :: _) -> (
+    match Term.view first with
+    | Term.Const tid -> Some (Symbol.name tid)
+    | Term.Var _ | Term.App _ -> None)
   | Term.Const _ | Term.Var _ | Term.App _ -> None
 
 (** A configuration as a set of event terms; a diagnosis is a set of

@@ -28,7 +28,7 @@ open Dqsq
 
 exception Unsupported of string
 
-let v x = Term.Var x
+let v x = Term.var x
 let c s = Term.const s
 
 (** Peers that may produce an instance of place [s]: the peers of the

@@ -2,7 +2,7 @@
 
 open Datalog
 
-let v x = Term.Var x
+let v x = Term.var x
 let c s = Term.const s
 let at rel peer = Dqsq.Datom.mangle_rel ~rel ~peer
 let atom rel peer args = Atom.cmake (at rel peer) args

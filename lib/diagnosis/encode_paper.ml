@@ -6,7 +6,7 @@
 open Datalog
 open Dqsq
 
-let v x = Term.Var x
+let v x = Term.var x
 let c s = Term.const s
 let datom ~rel ~peer args = Datom.make ~rel ~peer args
 let pos ~rel ~peer args = Drule.Pos (datom ~rel ~peer args)

@@ -72,9 +72,11 @@ let extensions t st p =
             | place :: rest ->
               Term.Set.fold
                 (fun cond acc ->
-                  match cond with
-                  | Term.App (_, [ _; Term.Const pl ])
-                    when String.equal (Symbol.name pl) place
+                  match Term.view cond with
+                  | Term.App (_, [ _; pl ])
+                    when (match Term.view pl with
+                         | Term.Const p -> String.equal (Symbol.name p) place
+                         | Term.Var _ | Term.App _ -> false)
                          && not (List.exists (Term.equal cond) chosen) ->
                     go (cond :: chosen) rest @ acc
                   | _ -> acc)

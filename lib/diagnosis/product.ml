@@ -32,8 +32,12 @@ type result = {
   states_explored : int;
 }
 
-let place_of_cond = function
-  | Term.App (_, [ _; Term.Const p ]) -> Symbol.name p
+let place_of_cond cond =
+  match Term.view cond with
+  | Term.App (_, [ _; p ]) -> (
+    match Term.view p with
+    | Term.Const p -> Symbol.name p
+    | Term.Var _ | Term.App _ -> invalid_arg "place_of_cond: not a condition term")
   | _ -> invalid_arg "place_of_cond: not a condition term"
 
 (* choose, for each place of [places], a distinct condition of the cut

@@ -13,10 +13,11 @@ type event_view = {
 (* The parent events of an event term: the producers of its preset
    conditions, read off the term structure. *)
 let parents_of_event_term (t : Term.t) : Term.t list =
-  match t with
+  match Term.view t with
   | Term.App (_, _ :: pres) ->
     List.filter_map
-      (function
+      (fun pre ->
+        match Term.view pre with
         | Term.App (_, [ parent; _ ]) when Canon.is_event_term parent -> Some parent
         | _ -> None)
       pres

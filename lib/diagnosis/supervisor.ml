@@ -31,7 +31,7 @@ type observation =
   | Word of Petri.Alarm.alarm list  (** an exact per-peer subsequence *)
   | Regex of Pattern.t  (** a regular pattern over the peer's alarm symbols *)
 
-let v x = Term.Var x
+let v x = Term.var x
 let c s = Term.const s
 
 (** Index constant for peer [p] in automaton state [q]. The ['#'] separator

@@ -13,7 +13,7 @@ let sorted_answers answers = List.sort_uniq String.compare (List.map Atom.to_str
 (* ------------------------------------------------------------------ *)
 
 let test_term_basics () =
-  let t = Term.app "f" [ Term.const "a"; Term.Var "X" ] in
+  let t = Term.app "f" [ Term.const "a"; Term.var "X" ] in
   Alcotest.(check bool) "not ground" false (Term.is_ground t);
   Alcotest.(check int) "depth" 2 (Term.depth t);
   Alcotest.(check int) "size" 3 (Term.size t);
@@ -21,21 +21,21 @@ let test_term_basics () =
   Alcotest.(check string) "print" "f(a, X)" (Term.to_string t)
 
 let test_unify_simple () =
-  let x = Term.Var "X" and a = Term.const "a" in
+  let x = Term.var "X" and a = Term.const "a" in
   (match Unify.unify x a with
   | Some s -> Alcotest.check term "X bound to a" a (Subst.apply s x)
   | None -> Alcotest.fail "should unify");
-  (match Unify.unify (Term.app "f" [ x; Term.const "b" ]) (Term.app "f" [ a; Term.Var "Y" ]) with
+  (match Unify.unify (Term.app "f" [ x; Term.const "b" ]) (Term.app "f" [ a; Term.var "Y" ]) with
   | Some s ->
     Alcotest.check term "X=a" a (Subst.apply s x);
-    Alcotest.check term "Y=b" (Term.const "b") (Subst.apply s (Term.Var "Y"))
+    Alcotest.check term "Y=b" (Term.const "b") (Subst.apply s (Term.var "Y"))
   | None -> Alcotest.fail "should unify");
   Alcotest.(check bool)
     "clash" true
     (Unify.unify (Term.const "a") (Term.const "b") = None)
 
 let test_unify_occurs () =
-  let x = Term.Var "X" in
+  let x = Term.var "X" in
   Alcotest.(check bool)
     "occurs check" true
     (Unify.unify x (Term.app "f" [ x ]) = None)
@@ -43,10 +43,10 @@ let test_unify_occurs () =
 let test_unify_nested () =
   (* Unifying a demand g(u, c1) against a head g(X, c1) binds X. *)
   let demand = Term.app "g" [ Term.app "f" [ Term.const "i" ]; Term.const "c1" ] in
-  let head = Term.app "g" [ Term.Var "X"; Term.const "c1" ] in
+  let head = Term.app "g" [ Term.var "X"; Term.const "c1" ] in
   match Unify.unify head demand with
   | Some s ->
-    Alcotest.check term "X = f(i)" (Term.app "f" [ Term.const "i" ]) (Subst.apply s (Term.Var "X"))
+    Alcotest.check term "X = f(i)" (Term.app "f" [ Term.const "i" ]) (Subst.apply s (Term.var "X"))
   | None -> Alcotest.fail "should unify"
 
 (* qcheck generators for ground-ish terms *)
@@ -56,11 +56,11 @@ let gen_term : Term.t QCheck.Gen.t =
       if n <= 1 then
         oneof
           [ map (fun i -> Term.const (Printf.sprintf "c%d" (abs i mod 5))) small_int;
-            map (fun i -> Term.Var (Printf.sprintf "V%d" (abs i mod 4))) small_int ]
+            map (fun i -> Term.var (Printf.sprintf "V%d" (abs i mod 4))) small_int ]
       else
         frequency
           [ (2, map (fun i -> Term.const (Printf.sprintf "c%d" (abs i mod 5))) small_int);
-            (2, map (fun i -> Term.Var (Printf.sprintf "V%d" (abs i mod 4))) small_int);
+            (2, map (fun i -> Term.var (Printf.sprintf "V%d" (abs i mod 4))) small_int);
             ( 3,
               map2
                 (fun f args -> Term.capp (Symbol.intern (Printf.sprintf "f%d" (abs f mod 3))) args)
@@ -123,7 +123,7 @@ let test_parse_program () =
 let test_parse_terms () =
   let a = Parser.parse_atom {| q(f(X, "lit"), c1) |} in
   Alcotest.check atom "atom"
-    (Atom.make "q" [ Term.app "f" [ Term.Var "X"; Term.const "lit" ]; Term.const "c1" ])
+    (Atom.make "q" [ Term.app "f" [ Term.var "X"; Term.const "lit" ]; Term.const "c1" ])
     a
 
 let test_parse_errors () =
@@ -198,7 +198,7 @@ let test_neq_semantics () =
   in
   let store = Fact_store.create () in
   ignore (Eval.seminaive p store);
-  let answers = Eval.answers store (Atom.make "sib" [ Term.Var "X"; Term.Var "Y" ]) in
+  let answers = Eval.answers store (Atom.make "sib" [ Term.var "X"; Term.var "Y" ]) in
   Alcotest.(check (list string))
     "siblings" [ "sib(a, b)"; "sib(b, a)" ] (sorted_answers answers)
 
@@ -260,7 +260,7 @@ let prop_naive_eq_seminaive =
 let test_qsq_tc_answers () =
   let p = Parser.parse_program tc_program in
   let edb = chain_edb 8 in
-  let query = Atom.make "tc" [ Term.const "n0"; Term.Var "Y" ] in
+  let query = Atom.make "tc" [ Term.const "n0"; Term.var "Y" ] in
   let _, res, answers = Qsq.solve p query edb in
   Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
   Alcotest.(check int) "8 reachable" 8 (List.length answers)
@@ -271,7 +271,7 @@ let test_qsq_materializes_less () =
   let p = Parser.parse_program tc_program in
   let n = 30 in
   let edb = chain_edb n in
-  let query = Atom.make "tc" [ Term.const (Printf.sprintf "n%d" (n - 1)); Term.Var "Y" ] in
+  let query = Atom.make "tc" [ Term.const (Printf.sprintf "n%d" (n - 1)); Term.var "Y" ] in
   let store_naive = Fact_store.copy edb in
   ignore (Eval.seminaive p store_naive);
   let naive_tc = Fact_store.count_rel store_naive (Symbol.intern "tc") in
@@ -308,7 +308,7 @@ let test_qsq_same_generation () =
   add "flat" "f" "h";
   add "down" "g" "b";
   add "down" "h" "c";
-  let query = Atom.make "sg" [ Term.const "a"; Term.Var "Y" ] in
+  let query = Atom.make "sg" [ Term.const "a"; Term.var "Y" ] in
   let _, _, answers = Qsq.solve p query edb in
   Alcotest.(check (list string)) "sg answers" [ "sg(a, b)"; "sg(a, c)" ] (sorted_answers answers)
 
@@ -327,7 +327,7 @@ let test_qsq_with_functions () =
       [ Term.const "a"; Term.app "cons" [ Term.const "b"; Term.app "cons" [ Term.const "c"; Term.const "nil" ] ] ]
   in
   ignore (Fact_store.add edb (Atom.cmake (Symbol.intern "islist") [ lst ]));
-  let query = Atom.cmake (Symbol.intern "member") [ Term.Var "X"; lst ] in
+  let query = Atom.cmake (Symbol.intern "member") [ Term.var "X"; lst ] in
   let _, res, answers = Qsq.solve p query edb in
   Alcotest.(check bool) "terminates" true (res.Eval.status = Eval.Fixpoint);
   Alcotest.(check int) "3 members" 3 (List.length answers)
@@ -363,7 +363,7 @@ let test_qsq_fig4_shape () =
 let test_magic_tc_answers () =
   let p = Parser.parse_program tc_program in
   let edb = chain_edb 8 in
-  let query = Atom.make "tc" [ Term.const "n0"; Term.Var "Y" ] in
+  let query = Atom.make "tc" [ Term.const "n0"; Term.var "Y" ] in
   let _, _, answers = Magic.solve p query edb in
   Alcotest.(check int) "8 reachable" 8 (List.length answers)
 
@@ -371,7 +371,7 @@ let random_query edges =
   let n = List.length edges in
   let src = Printf.sprintf "n%d" (match edges with (a, _) :: _ -> a | [] -> 0) in
   ignore n;
-  Atom.make "tc" [ Term.const src; Term.Var "Y" ]
+  Atom.make "tc" [ Term.const src; Term.var "Y" ]
 
 let prop_qsq_eq_naive =
   QCheck.Test.make ~count:100 ~name:"QSQ answers == naive answers (random graphs)" arb_edges

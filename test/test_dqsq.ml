@@ -66,7 +66,7 @@ let fig3_edb () : Datom.t list =
     d "C" "t" "7" "4";
     d "C" "t" "8" "5" ]
 
-let fig3_query () = Datom.make ~rel:"R" ~peer:"r" [ Term.const "1"; Term.Var "Y" ]
+let fig3_query () = Datom.make ~rel:"R" ~peer:"r" [ Term.const "1"; Term.var "Y" ]
 
 (* Oracle: centralized naive evaluation of the localized program. *)
 let fig3_expected () =
@@ -76,7 +76,7 @@ let fig3_expected () =
     (fun (a : Datom.t) -> ignore (Fact_store.add store (Datom.to_local_atom a)))
     (fig3_edb ());
   ignore (Eval.naive p store);
-  Eval.answers store (Atom.make "R" [ Term.const "1"; Term.Var "Y" ])
+  Eval.answers store (Atom.make "R" [ Term.const "1"; Term.var "Y" ])
 
 let strip_answers answers =
   sorted_strings
@@ -160,12 +160,12 @@ let ring_program k =
         let ri = Printf.sprintf "R%d" i and rn = Printf.sprintf "R%d" next in
         let ei = Printf.sprintf "E%d" i in
         [ Drule.make
-            (Datom.make ~rel:ri ~peer:pi [ Term.Var "X"; Term.Var "Y" ])
-            [ Drule.Pos (Datom.make ~rel:ei ~peer:pi [ Term.Var "X"; Term.Var "Y" ]) ];
+            (Datom.make ~rel:ri ~peer:pi [ Term.var "X"; Term.var "Y" ])
+            [ Drule.Pos (Datom.make ~rel:ei ~peer:pi [ Term.var "X"; Term.var "Y" ]) ];
           Drule.make
-            (Datom.make ~rel:ri ~peer:pi [ Term.Var "X"; Term.Var "Z" ])
-            [ Drule.Pos (Datom.make ~rel:ei ~peer:pi [ Term.Var "X"; Term.Var "Y" ]);
-              Drule.Pos (Datom.make ~rel:rn ~peer:pn [ Term.Var "Y"; Term.Var "Z" ]) ] ])
+            (Datom.make ~rel:ri ~peer:pi [ Term.var "X"; Term.var "Z" ])
+            [ Drule.Pos (Datom.make ~rel:ei ~peer:pi [ Term.var "X"; Term.var "Y" ]);
+              Drule.Pos (Datom.make ~rel:rn ~peer:pn [ Term.var "Y"; Term.var "Z" ]) ] ])
       (List.init k Fun.id)
   in
   Dprogram.make rules
@@ -187,7 +187,7 @@ let prop_theorem1_random =
       let rng = Random.State.make [| seed |] in
       let program = ring_program k in
       let edb = ring_edb ~rng k ~edges:e () in
-      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
       let dqsq_facts, qsq_facts = check_theorem1 program edb query seed in
       dqsq_facts = qsq_facts)
 
@@ -197,7 +197,7 @@ let prop_dqsq_answers_random =
       let rng = Random.State.make [| seed |] in
       let program = ring_program k in
       let edb = ring_edb ~rng k ~edges:e () in
-      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
       let out = Qsq_engine.solve ~seed program ~edb ~query in
       let local_store = Fact_store.create () in
       List.iter
@@ -213,7 +213,7 @@ let prop_dnaive_answers_random =
       let rng = Random.State.make [| seed |] in
       let program = ring_program k in
       let edb = ring_edb ~rng k ~edges:e () in
-      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
       let out = Naive_engine.solve ~seed program ~edb ~query in
       let local_store = Fact_store.create () in
       List.iter
@@ -233,7 +233,7 @@ let test_dqsq_ships_fewer_tuples () =
   let rng = Random.State.make [| 99 |] in
   let program = ring_program 3 in
   let edb = ring_edb ~domain:60 ~rng 3 ~edges:80 () in
-  let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+  let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
   let qsq = Qsq_engine.solve ~seed:1 program ~edb ~query in
   let naive = Naive_engine.solve ~seed:1 program ~edb ~query in
   Alcotest.(check bool)
@@ -271,7 +271,7 @@ let prop_ds_mode_random =
       let rng = Random.State.make [| seed |] in
       let program = ring_program k in
       let edb = ring_edb ~rng k ~edges:e () in
-      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
       let god = Qsq_engine.solve ~seed program ~edb ~query in
       let ds =
         Qsq_engine.solve ~seed ~termination:Qsq_engine.Dijkstra_scholten program ~edb ~query
@@ -292,7 +292,7 @@ let test_lossy_channels_degrade_monotonically () =
         Datom.make ~rel:(Printf.sprintf "E%d" i) ~peer:(Printf.sprintf "p%d" i)
           [ Term.const (Printf.sprintf "n%d" i); Term.const (Printf.sprintf "n%d" (i + 1)) ])
   in
-  let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.Var "Y" ] in
+  let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
   let reliable = Qsq_engine.solve ~seed:2 program ~edb ~query in
   let reliable_answers = strip_answers reliable.Qsq_engine.answers in
   Alcotest.(check int) "3 answers without loss" 3 (List.length reliable_answers);
@@ -323,7 +323,7 @@ let test_local_only_program_no_messages () =
   (* A fully local program needs no network at all. *)
   let program = Dprogram.parse "P@r(X) :- Q@r(X)." in
   let edb = [ Datom.make ~rel:"Q" ~peer:"r" [ Term.const "c" ] ] in
-  let query = Datom.make ~rel:"P" ~peer:"r" [ Term.Var "X" ] in
+  let query = Datom.make ~rel:"P" ~peer:"r" [ Term.var "X" ] in
   let out = Qsq_engine.solve program ~edb ~query in
   Alcotest.(check int) "answers" 1 (List.length out.Qsq_engine.answers);
   Alcotest.(check int) "no deliveries" 0 out.Qsq_engine.deliveries

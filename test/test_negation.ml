@@ -77,7 +77,7 @@ let test_stratified_eval () =
   let store = Fact_store.create () in
   let res = Eval.stratified p store in
   Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
-  let answers = Eval.answers store (Atom.make "unreach" [ Term.Var "X" ]) in
+  let answers = Eval.answers store (Atom.make "unreach" [ Term.var "X" ]) in
   Alcotest.(check (list string)) "unreachable nodes" [ "unreach(d)" ]
     (List.sort compare (List.map Atom.to_string answers))
 

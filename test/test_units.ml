@@ -18,17 +18,99 @@ let test_symbol () =
   Alcotest.(check bool) "fresh symbols differ" false (Symbol.equal f1 f2)
 
 (* ------------------------------------------------------------------ *)
+(* Term (hash-consing invariants)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* reference recomputations of the cached fields, by structure *)
+let rec recompute_depth t =
+  match Term.view t with
+  | Term.Const _ | Term.Var _ -> 1
+  | Term.App (_, args) ->
+    1 + List.fold_left (fun acc a -> max acc (recompute_depth a)) 0 args
+
+let rec recompute_size t =
+  match Term.view t with
+  | Term.Const _ | Term.Var _ -> 1
+  | Term.App (_, args) -> List.fold_left (fun acc a -> acc + recompute_size a) 1 args
+
+let rec recompute_ground t =
+  match Term.view t with
+  | Term.Const _ -> true
+  | Term.Var _ -> false
+  | Term.App (_, args) -> List.for_all recompute_ground args
+
+(* a Skolem-like spine f(f(...f(leaf, c)..., c), c) of [n] applications *)
+let deep_term n =
+  let rec go n acc =
+    if n = 0 then acc else go (n - 1) (Term.app "f" [ acc; Term.const "c" ])
+  in
+  go n (Term.const "leaf")
+
+let test_term_hashcons () =
+  let a = Term.app "f" [ Term.const "a"; Term.var "X" ] in
+  let b = Term.app "f" [ Term.const "a"; Term.var "X" ] in
+  Alcotest.(check bool) "structural equality is physical" true (a == b);
+  Alcotest.(check bool) "Term.equal agrees" true (Term.equal a b);
+  Alcotest.(check int) "hashes agree" (Term.hash a) (Term.hash b);
+  Alcotest.(check bool) "deep spines are shared" true (deep_term 64 == deep_term 64);
+  let c = Term.app "f" [ Term.const "a"; Term.var "Y" ] in
+  Alcotest.(check bool) "distinct terms stay distinct" false (Term.equal a c);
+  Alcotest.(check int) "structural compare is reflexive" 0 (Term.compare_structural a b)
+
+let test_term_cached_fields () =
+  let samples =
+    [ Term.const "a";
+      Term.var "X";
+      deep_term 40;
+      Term.app "g" [ deep_term 3; Term.var "Z" ];
+      Term.app "f" [ Term.app "g" [ Term.var "X" ]; Term.const "k"; deep_term 5 ] ]
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "depth cached" (recompute_depth t) (Term.depth t);
+      Alcotest.(check int) "size cached" (recompute_size t) (Term.size t);
+      Alcotest.(check bool) "ground cached" (recompute_ground t) (Term.is_ground t))
+    samples
+
+let test_term_subst_sharing () =
+  let s = Subst.of_list [ ("X", Term.const "a") ] in
+  let t = Term.app "f" [ deep_term 10; Term.const "b" ] in
+  Alcotest.(check bool) "ground term returned physically unchanged" true
+    (Subst.apply s t == t);
+  let u = Term.app "f" [ Term.var "Y"; deep_term 10 ] in
+  Alcotest.(check bool) "untouched variables leave term physically unchanged" true
+    (Subst.apply s u == u);
+  let v = Subst.apply (Subst.of_list [ ("Y", Term.const "a") ]) u in
+  Alcotest.(check bool) "a bound variable rebuilds the term" false (v == u);
+  Alcotest.(check bool) "result is ground" true (Term.is_ground v)
+
+let test_term_weak_collection () =
+  (* terms without live roots must be collectable from the weak table *)
+  let build () =
+    let ts =
+      List.init 100 (fun i -> Term.app "wkc" [ Term.const (Printf.sprintf "wk%d" i) ])
+    in
+    let peak = Term.live_terms () in
+    ignore (Sys.opaque_identity ts);
+    peak
+  in
+  let peak = build () in
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "dead terms are collected" true (Term.live_terms () < peak)
+
+(* ------------------------------------------------------------------ *)
 (* Subst                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let test_subst_compose () =
   let s1 = Subst.of_list [ ("X", Term.const "a") ] in
-  let s2 = Subst.of_list [ ("Y", Term.Var "X") ] in
+  let s2 = Subst.of_list [ ("Y", Term.var "X") ] in
   let s = Subst.compose s1 s2 in
   (* compose s1 s2 = apply s2 then s1: Y -> X -> a *)
   Alcotest.check term "Y resolves through both" (Term.const "a")
-    (Subst.apply s (Term.Var "Y"));
-  Alcotest.check term "X still bound" (Term.const "a") (Subst.apply s (Term.Var "X"))
+    (Subst.apply s (Term.var "Y"));
+  Alcotest.check term "X still bound" (Term.const "a") (Subst.apply s (Term.var "X"))
 
 let test_subst_restrict () =
   let s = Subst.of_list [ ("X", Term.const "a"); ("Y", Term.const "b") ] in
@@ -48,7 +130,7 @@ let test_store_basics () =
   Alcotest.(check bool) "mem" true (Fact_store.mem store f1);
   Alcotest.(check int) "count" 1 (Fact_store.count store);
   Alcotest.(check int) "count_rel" 1 (Fact_store.count_rel store (Symbol.intern "r"));
-  (match Fact_store.add store (Atom.make "r" [ Term.Var "X" ]) with
+  (match Fact_store.add store (Atom.make "r" [ Term.var "X" ]) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "non-ground fact accepted")
 
@@ -60,14 +142,14 @@ let test_store_indexing () =
   add "a" "b";
   add "a" "c";
   add "x" "y";
-  let pattern = Atom.make "e" [ Term.const "a"; Term.Var "Y" ] in
+  let pattern = Atom.make "e" [ Term.const "a"; Term.var "Y" ] in
   Alcotest.(check int) "two matches" 2
     (List.length (Fact_store.matches store pattern ~init:Subst.empty));
   add "a" "d";
   Alcotest.(check int) "index maintained on insert" 3
     (List.length (Fact_store.matches store pattern ~init:Subst.empty));
   (* second-position index *)
-  let pattern2 = Atom.make "e" [ Term.Var "X"; Term.const "y" ] in
+  let pattern2 = Atom.make "e" [ Term.var "X"; Term.const "y" ] in
   Alcotest.(check int) "one match on pos 2" 1
     (List.length (Fact_store.matches store pattern2 ~init:Subst.empty))
 
@@ -85,12 +167,12 @@ let test_store_function_terms () =
   ignore (Fact_store.add store (Atom.make "places" [ node; Term.const "p" ]));
   (* pattern with structure binds inner variables *)
   let pattern =
-    Atom.make "places" [ Term.app "g" [ Term.Var "X"; Term.const "c1" ]; Term.Var "Y" ]
+    Atom.make "places" [ Term.app "g" [ Term.var "X"; Term.const "c1" ]; Term.var "Y" ]
   in
   match Fact_store.matches store pattern ~init:Subst.empty with
   | [ s ] ->
     Alcotest.check term "X bound inside structure" (Term.app "f" [ Term.const "i" ])
-      (Subst.apply s (Term.Var "X"))
+      (Subst.apply s (Term.var "X"))
   | l -> Alcotest.fail (Printf.sprintf "expected 1 match, got %d" (List.length l))
 
 (* ------------------------------------------------------------------ *)
@@ -155,7 +237,7 @@ let test_eval_max_rounds () =
 
 let test_eval_run_wrapper () =
   let p = Parser.parse_program "tc(X, Y) :- e(X, Y). e(a, b)." in
-  let _, res, answers = Eval.run ~strategy:`Naive p (Atom.make "tc" [ Term.Var "X"; Term.Var "Y" ]) in
+  let _, res, answers = Eval.run ~strategy:`Naive p (Atom.make "tc" [ Term.var "X"; Term.var "Y" ]) in
   Alcotest.(check bool) "fixpoint" true (res.Eval.status = Eval.Fixpoint);
   Alcotest.(check int) "one answer" 1 (List.length answers)
 
@@ -324,7 +406,12 @@ let test_pattern_validation () =
   | _ -> Alcotest.fail "unknown transition target accepted"
 
 let suite =
-  [ ( "symbol-subst",
+  [ ( "term",
+      [ Alcotest.test_case "hash-consing identity" `Quick test_term_hashcons;
+        Alcotest.test_case "cached fields" `Quick test_term_cached_fields;
+        Alcotest.test_case "subst sharing" `Quick test_term_subst_sharing;
+        Alcotest.test_case "weak collection" `Quick test_term_weak_collection ] );
+    ( "symbol-subst",
       [ Alcotest.test_case "symbol" `Quick test_symbol;
         Alcotest.test_case "subst compose" `Quick test_subst_compose;
         Alcotest.test_case "subst restrict" `Quick test_subst_restrict ] );
