@@ -658,6 +658,62 @@ let e18 ?(ci = false) () =
     (e18_scenarios ~ci)
 
 (* ------------------------------------------------------------------ *)
+(* E19: domain-parallel dQSQ                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Each peer runs on its own OCaml domain (Network.Sim.run_parallel). The
+   protocol is confluent — idempotent delegations and subscriptions over
+   monotone Datalog — so every parallel row must report the very same
+   diagnosis and fact total as the sequential scheduler; the equal column
+   asserts it. Wall-clock speedup depends on the host's core count
+   (printed below): on a single-core container the parallel rows only pay
+   synchronization overhead, which is itself worth recording. Per-mode
+   times also land in BENCH_diag.json as E19/<mode> pseudo-experiments. *)
+let e19_times : (string * float) list ref = ref []
+
+let e19 ?(ci = false) () =
+  section "E19" "Domain-parallel dQSQ: sequential scheduler vs 1/2/4 domains";
+  Printf.printf "(host: %d recommended domain(s))\n" (Domain.recommended_domain_count ());
+  let scenarios =
+    if ci then [ ("ring4@s3", 4, 104, 3) ]
+    else [ ("ring4@s5", 4, 104, 5); ("ring5@s6", 5, 105, 6) ]
+  in
+  Printf.printf "%-12s %-10s | %9s %8s %10s | %6s\n" "scenario" "mode" "wall" "facts"
+    "deliveries" "equal";
+  List.iter
+    (fun (name, peers, seed, steps) ->
+      let net = Petri.Net.binarize (Petri.Examples.ring ~peers ()) in
+      let firing = Petri.Exec.random_execution ~rng:(rng seed) ~steps net in
+      let a = alarms (Petri.Exec.alarms_of_execution net firing) in
+      let prepared = Diagnoser.prepare net a in
+      let time engine =
+        Gc.compact ();
+        let t0 = Obs.Clock.now_s () in
+        let r = Diagnoser.run prepared engine in
+        (Obs.Clock.now_s () -. t0, r)
+      in
+      let t_seq, r_seq =
+        time (Diagnoser.Distributed { seed = 0; policy = Network.Sim.Random_interleaving })
+      in
+      let row mode dt (r : Diagnoser.result) =
+        e19_times := (Printf.sprintf "E19/%s/%s" name mode, dt) :: !e19_times;
+        Printf.printf "%-12s %-10s | %8.3fs %8d %10d | %6b\n" name mode dt
+          r.Diagnoser.facts_total
+          (match r.Diagnoser.comm with Some c -> c.Diagnoser.deliveries | None -> 0)
+          (Canon.equal_diagnosis r.Diagnoser.diagnosis r_seq.Diagnoser.diagnosis)
+      in
+      row "sequential" t_seq r_seq;
+      List.iter
+        (fun jobs ->
+          let dt, r = time (Diagnoser.Distributed_parallel { jobs }) in
+          if not (Canon.equal_diagnosis r.Diagnoser.diagnosis r_seq.Diagnoser.diagnosis)
+          then Printf.printf "!! parallel diagnosis differs at jobs=%d\n" jobs;
+          row (Printf.sprintf "jobs=%d" jobs) dt r)
+        [ 1; 2; 4 ])
+    scenarios;
+  e19_times := List.rev !e19_times
+
+(* ------------------------------------------------------------------ *)
 (* bechamel timings                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -816,12 +872,12 @@ let () =
   in
   let only = arg_value "--only" in
   let experiments =
-    if ci then [ ("E18", fun () -> e18 ~ci:true ()) ]
+    if ci then [ ("E18", fun () -> e18 ~ci:true ()); ("E19", fun () -> e19 ~ci:true ()) ]
     else
       [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
         ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
         ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-        ("E17", e17); ("E18", fun () -> e18 ()) ]
+        ("E17", e17); ("E18", fun () -> e18 ()); ("E19", fun () -> e19 ()) ]
   in
   let experiments =
     match only with
@@ -837,6 +893,6 @@ let () =
       experiments
   in
   metrics_section stats_json_file;
-  write_bench_json bench_json_file times;
+  write_bench_json bench_json_file (times @ !e19_times);
   if not (no_timings || ci) then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

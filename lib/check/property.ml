@@ -10,11 +10,13 @@ type instance = {
   alarms : Petri.Alarm.t;
   policy : Network.Sim.policy;
   loss : float;
+  jobs : int;
   sim_seed : int;
 }
 
 let instance_of_case (c : Gen.case) =
-  { net = c.net; alarms = c.alarms; policy = c.policy; loss = c.loss; sim_seed = c.seed }
+  { net = c.net; alarms = c.alarms; policy = c.policy; loss = c.loss; jobs = c.jobs;
+    sim_seed = c.seed }
 
 type outcome = Pass | Fail of string
 
@@ -237,6 +239,45 @@ let reference_vs_literal i =
   let d_literal = (Reference.diagnose_literal net i.alarms).Reference.diagnosis in
   check_equal_diagnosis ~left:"global" ~right:"literal" d_global d_literal
 
+(* ---------- parallel dQSQ == sequential dQSQ (confluence) ------- *)
+
+(* The domain-parallel scheduler must reproduce the sequential run byte for
+   byte: the protocol's guards make every delegation/subscription idempotent
+   and Datalog is monotone, so any delivery schedule reaches the same peer
+   fact sets, and the structurally-sorted answer list is schedule-free.
+   Loss-free on both sides — the parallel scheduler draws loss coins in a
+   racy order, so lossy parallel runs are legitimately nondeterministic. *)
+let parallel_eq_sequential i =
+  let p, _ = baseline i in
+  let seq =
+    Qsq_engine.solve ~seed:i.sim_seed ~policy:i.policy ~max_steps
+      p.Diagnoser.program ~edb:p.Diagnoser.edb ~query:p.Diagnoser.query
+  in
+  let par =
+    Qsq_engine.solve ~max_steps ~jobs:i.jobs p.Diagnoser.program
+      ~edb:p.Diagnoser.edb ~query:p.Diagnoser.query
+  in
+  let answer_strings o = List.map Atom.to_string o.Qsq_engine.answers in
+  if answer_strings par <> answer_strings seq then
+    failf "answers differ under %d domains: parallel %d vs sequential %d" i.jobs
+      (List.length par.Qsq_engine.answers)
+      (List.length seq.Qsq_engine.answers)
+  else if
+    not
+      (Canon.equal_diagnosis
+         (Supervisor.diagnosis_of_answers par.Qsq_engine.answers)
+         (Supervisor.diagnosis_of_answers seq.Qsq_engine.answers))
+  then
+    check_equal_diagnosis ~left:"parallel" ~right:"sequential"
+      (Supervisor.diagnosis_of_answers par.Qsq_engine.answers)
+      (Supervisor.diagnosis_of_answers seq.Qsq_engine.answers)
+  else if par.Qsq_engine.total_facts <> seq.Qsq_engine.total_facts then
+    failf "fact totals differ under %d domains: parallel %d vs sequential %d" i.jobs
+      par.Qsq_engine.total_facts seq.Qsq_engine.total_facts
+  else if par.Qsq_engine.facts_per_peer <> seq.Qsq_engine.facts_per_peer then
+    failf "per-peer fact counts differ under %d domains" i.jobs
+  else Pass
+
 (* --------------- seed determinism (sim.mli contract) ------------ *)
 
 let dqsq_run i =
@@ -289,6 +330,8 @@ let all =
       dqsq_loss_soundness;
     mk "reference-vs-literal" "condition (iii), two readings"
       ~applies:single_component_per_peer reference_vs_literal;
+    mk "parallel-eq-sequential" "confluence (domain-parallel == sequential dQSQ)"
+      parallel_eq_sequential;
     mk "seed-determinism" "sim.mli: same seed and policy, same run" seed_determinism;
   ]
 

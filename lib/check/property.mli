@@ -10,6 +10,7 @@ type instance = {
   alarms : Petri.Alarm.t;
   policy : Network.Sim.policy;  (** schedule for the distributed engines *)
   loss : float;  (** loss rate for the lossy properties only *)
+  jobs : int;  (** domain count for the parallel-vs-sequential property *)
   sim_seed : int;  (** network-scheduler seed *)
 }
 (** Everything a property needs. Concrete net and alarms — not a spec and
@@ -35,7 +36,8 @@ val all : t list
 (** Every property, cheapest first:
     [naive-vs-seminaive], [qsq-vs-reference], [magic-vs-qsq],
     [product-vs-qsq-materialization], [dqsq-vs-qsq], [dqsq-ds-termination],
-    [dqsq-loss-soundness], [reference-vs-literal], [seed-determinism]. *)
+    [dqsq-loss-soundness], [reference-vs-literal],
+    [parallel-eq-sequential], [seed-determinism]. *)
 
 val find : string -> t option
 val names : string list

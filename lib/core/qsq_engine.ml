@@ -38,12 +38,20 @@ let terms_vars terms =
   in
   List.rev (List.fold_left (Term.vars_fold add) [] terms)
 
+(* Parallel safety: a peer's state is only ever touched from inside that
+   peer's message handler (plus setup on the main domain before the run),
+   and {!Sim.run_parallel} pins each peer to one domain — so none of these
+   hashtables or the runtime need locks. Engine-wide counters shared by
+   all handlers are [Atomic.t]. *)
 type peer_state = {
   rt : Runtime.t;
   my_rules : (string, Drule.t list) Hashtbl.t;  (** local rules by head relation *)
   demanded : (string * string, unit) Hashtbl.t;  (** (relation, adornment) *)
   delegations_seen : (string, unit) Hashtbl.t;
   subscriptions_sent : (string * Symbol.t, unit) Hashtbl.t;  (** (owner, rel) *)
+  steps_c : Obs.Metrics.counter;
+      (** messages handled by this peer ([peer.steps.<name>]) — the load
+          balance across domains in [diag --stats] *)
 }
 
 type t = {
@@ -54,9 +62,9 @@ type t = {
   query_peer : string;
   detector : Message.t Ds.t option;
       (* Dijkstra-Scholten termination detection, when requested *)
-  mutable delegations : int;
-  mutable subscriptions : int;
-  mutable fact_messages : int;
+  delegations : int Atomic.t;
+  subscriptions : int Atomic.t;
+  fact_messages : int Atomic.t;
 }
 
 let state t p = Hashtbl.find t.states p
@@ -79,7 +87,7 @@ let forward t ~src outputs =
     (fun (fact, subs) ->
       List.iter
         (fun dst ->
-          t.fact_messages <- t.fact_messages + 1;
+          Atomic.incr t.fact_messages;
           Obs.Metrics.incr fact_messages_c;
           send t ~src ~dst (Message.Fact fact))
         subs)
@@ -101,7 +109,12 @@ let sup_at ~rel ~ad ~rule_index ~pos ~peer =
 
 let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.var x) vars)
 
-let fresh_counter = ref 0
+(* Atomic so concurrent [demand]s on different domains still draw unique
+   suffixes. The drawn values then depend on the schedule — harmless: all
+   variables of one rule instance share one suffix, derived facts are
+   ground, and attribute (column) order compares same-suffix names, so
+   fact sets are suffix-value-independent. *)
+let fresh_counter = Atomic.make 0
 
 (* Ensure [p] receives the tuples of [rel_sym] owned by [owner]. *)
 let ensure_subscription t p ~owner ~rel_sym =
@@ -109,7 +122,7 @@ let ensure_subscription t p ~owner ~rel_sym =
     let st = state t p in
     if not (Hashtbl.mem st.subscriptions_sent (owner, rel_sym)) then begin
       Hashtbl.add st.subscriptions_sent (owner, rel_sym) ();
-      t.subscriptions <- t.subscriptions + 1;
+      Atomic.incr t.subscriptions;
       Obs.Metrics.incr subscriptions_c;
       send t ~src:p ~dst:owner (Message.Subscribe rel_sym)
     end
@@ -151,7 +164,7 @@ let rec walk t p (d : Message.delegation) =
       in
       if String.equal head.Datom.peer p then install_answer t p finish
       else begin
-        t.delegations <- t.delegations + 1;
+        Atomic.incr t.delegations;
         Obs.Metrics.incr delegations_c;
         send t ~src:p ~dst:head.Datom.peer (Message.Delegate finish)
       end
@@ -167,8 +180,8 @@ let rec walk t p (d : Message.delegation) =
           d_remaining = lits; d_pending = pending;
           d_bound = Var_set.elements bound }
       in
-      t.delegations <- t.delegations + 1;
-        Obs.Metrics.incr delegations_c;
+      Atomic.incr t.delegations;
+      Obs.Metrics.incr delegations_c;
       send t ~src:p ~dst:a.Datom.peer (Message.Delegate d')
     | Drule.Pos a :: rest ->
       (* Local relation: one centralized-QSQ step. *)
@@ -269,8 +282,7 @@ and demand t p ~rel ~ad =
            order of attribute names — and hence the column order of the
            supplementary relations — agrees with the centralized rewriting
            (Theorem 1 is checked as exact fact equality). *)
-        incr fresh_counter;
-        let suffix = Printf.sprintf "~%d" !fresh_counter in
+        let suffix = Printf.sprintf "~%d" (1 + Atomic.fetch_and_add fresh_counter 1) in
         let s =
           Subst.of_list
             (List.map (fun x -> (x, Term.var (x ^ suffix))) (Drule.vars r0))
@@ -330,12 +342,13 @@ and demand t p ~rel ~ad =
 
 let rec handle t p ~src msg =
   let st = state t p in
+  Obs.Metrics.incr st.steps_c;
   match msg with
   | Message.Subscribe rel ->
     let snapshot = Runtime.subscribe st.rt rel ~dst:src in
     List.iter
       (fun fact ->
-        t.fact_messages <- t.fact_messages + 1;
+        Atomic.incr t.fact_messages;
         Obs.Metrics.incr fact_messages_c;
         send t ~src:p ~dst:src (Message.Fact fact))
       snapshot
@@ -400,7 +413,8 @@ let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
   let states = Hashtbl.create 16 in
   let t =
     { program; sim; states; query; query_peer = query.Datom.peer; detector;
-      delegations = 0; subscriptions = 0; fact_messages = 0 }
+      delegations = Atomic.make 0; subscriptions = Atomic.make 0;
+      fact_messages = Atomic.make 0 }
   in
   List.iter
     (fun p ->
@@ -409,7 +423,8 @@ let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
           my_rules = Hashtbl.create 16;
           demanded = Hashtbl.create 16;
           delegations_seen = Hashtbl.create 16;
-          subscriptions_sent = Hashtbl.create 16 }
+          subscriptions_sent = Hashtbl.create 16;
+          steps_c = Obs.Metrics.counter ("peer.steps." ^ p) }
       in
       List.iter
         (fun r ->
@@ -455,7 +470,7 @@ type outcome = {
           [None] in god-view mode. *)
 }
 
-let run ?max_steps (t : t) ~(query : Datom.t) : outcome =
+let run ?max_steps ?jobs (t : t) ~(query : Datom.t) : outcome =
   Obs.Trace.with_span "qsq_engine.run" ~attrs:[ ("query", Datom.to_string query) ]
   @@ fun () ->
   let p0 = t.query_peer in
@@ -467,7 +482,11 @@ let run ?max_steps (t : t) ~(query : Datom.t) : outcome =
   | Some det ->
     (* the diffusing computation starts with the root's query injection *)
     Ds.start det t.sim ~dst:p0 (Message.Activate query.Datom.rel));
-  let deliveries = Network.Sim.run ?max_steps t.sim in
+  let deliveries =
+    match jobs with
+    | None -> Network.Sim.run ?max_steps t.sim
+    | Some jobs -> Network.Sim.run_parallel ?max_steps ~jobs t.sim
+  in
   let answer_pattern =
     Atom.cmake (adorned_at ~rel:query.Datom.rel ~ad ~peer:p0) query.Datom.args
   in
@@ -475,6 +494,12 @@ let run ?max_steps (t : t) ~(query : Datom.t) : outcome =
     List.map
       (fun s -> Atom.apply s (Datom.to_atom query))
       (Fact_store.matches (Runtime.store st.rt) answer_pattern ~init:Subst.empty)
+    (* structural order: store iteration order depends on the delivery
+       schedule, so sort here to keep the outcome schedule-independent *)
+    |> List.sort (fun (a : Atom.t) (b : Atom.t) ->
+           let c = Symbol.compare a.Atom.rel b.Atom.rel in
+           if c <> 0 then c
+           else List.compare Term.compare_structural a.Atom.args b.Atom.args)
   in
   let facts_per_peer =
     Hashtbl.fold (fun p st acc -> (p, Runtime.facts_count st.rt) :: acc) t.states []
@@ -485,18 +510,19 @@ let run ?max_steps (t : t) ~(query : Datom.t) : outcome =
     answers;
     deliveries;
     net_stats = Network.Sim.stats t.sim;
-    delegations = t.delegations;
-    subscriptions = t.subscriptions;
-    fact_messages = t.fact_messages;
+    delegations = Atomic.get t.delegations;
+    subscriptions = Atomic.get t.subscriptions;
+    fact_messages = Atomic.get t.fact_messages;
     total_facts = List.fold_left (fun acc (_, n) -> acc + n) 0 facts_per_peer;
     facts_per_peer;
     clipped;
     ds_terminated = Option.map Ds.is_terminated t.detector;
   }
 
-let solve ?seed ?policy ?loss ?eval_options ?termination ?max_steps program ~edb ~query =
+let solve ?seed ?policy ?loss ?eval_options ?termination ?max_steps ?jobs program
+    ~edb ~query =
   let t = create ?seed ?policy ?loss ?eval_options ?termination program ~edb ~query in
-  run ?max_steps t ~query
+  run ?max_steps ?jobs t ~query
 
 let peer_store t p = Runtime.store (state t p).rt
 

@@ -48,9 +48,14 @@ type outcome = {
           [None] in god-view mode. *)
 }
 
-val run : ?max_steps:int -> t -> query:Datom.t -> outcome
+val run : ?max_steps:int -> ?jobs:int -> t -> query:Datom.t -> outcome
 (** Seed the query's input relation at its peer, start the local rewriting,
-    and run the network to quiescence. *)
+    and run the network to quiescence. With [jobs], the network runs under
+    {!Network.Sim.run_parallel} on that many domains instead of the seeded
+    sequential scheduler; the protocol is confluent (idempotent
+    delegations/subscriptions, monotone Datalog), so the final fact sets —
+    and hence [answers], sorted structurally — are identical to a
+    sequential run. [policy]/[seed] are ignored in parallel mode. *)
 
 val solve :
   ?seed:int ->
@@ -59,6 +64,7 @@ val solve :
   ?eval_options:Eval.options ->
   ?termination:termination_mode ->
   ?max_steps:int ->
+  ?jobs:int ->
   Dprogram.t ->
   edb:Datom.t list ->
   query:Datom.t ->

@@ -39,9 +39,16 @@ let atom_depth (a : Atom.t) =
     [store], extending [init]. If [delta = Some (j, tuples)], the [j]-th
     positive atom is matched against [tuples] instead of the store (the
     semi-naive delta) and, as the most selective literal, drives the join:
-    it is evaluated first. Disequalities are checked as soon as both sides
-    are ground, and rechecked at the end (range restriction guarantees they
-    are ground then). *)
+    it is evaluated first. The remaining positive atoms are joined
+    most-bound-first: at every step the atom with the most arguments ground
+    under the current substitution is matched next (ties keep body order),
+    which maximizes the chance of an indexed probe over a full relation
+    scan. Disequalities are checked as soon as both sides are ground, and
+    rechecked at the end (range restriction guarantees they are ground
+    then). Bodies containing negation keep the static literal order: [Neg]
+    reads the store, which the surrounding fixpoint mutates between
+    derivations, so its check time is part of the (alternating/stratified)
+    semantics and must not float. *)
 let eval_body store body ~init ?delta f =
   (* A constraint (disequality or negated atom) holds under [s] once ground;
      non-ground ones are deferred. *)
@@ -56,42 +63,119 @@ let eval_body store body ~init ?delta f =
       if Atom.is_ground a then if Fact_store.mem store a then `Fails else `Holds
       else `Deferred
   in
-  let rec go lits s pending =
-    match lits with
-    | [] ->
-      let ok = List.for_all (fun c -> constraint_state s c = `Holds) pending in
-      if ok then f s
-    | (`Neq _ | `Neg _) as c :: rest -> (
-      match constraint_state s c with
-      | `Holds -> go rest s pending
-      | `Fails -> ()
-      | `Deferred -> go rest s (c :: pending))
-    | `Pos a :: rest -> Fact_store.iter_matches store a ~init:s (fun s' -> go rest s' pending)
-    | `Delta (a, tuples) :: rest ->
-      Fact_store.iter_matches_in a tuples ~init:s (fun s' -> go rest s' pending)
+  let tagged =
+    let pos_idx = ref (-1) in
+    List.map
+      (function
+        | Rule.Neq (x, y) -> `Neq (x, y)
+        | Rule.Neg a -> `Neg a
+        | Rule.Pos a -> (
+          incr pos_idx;
+          match delta with
+          | Some (j, tuples) when j = !pos_idx -> `Delta (a, tuples)
+          | Some _ | None -> `Pos a))
+      body
   in
-  let lits =
-    let tagged =
-      let pos_idx = ref (-1) in
-      List.map
-        (function
-          | Rule.Neq (x, y) -> `Neq (x, y)
-          | Rule.Neg a -> `Neg a
-          | Rule.Pos a -> (
-            incr pos_idx;
-            match delta with
-            | Some (j, tuples) when j = !pos_idx -> `Delta (a, tuples)
-            | Some _ | None -> `Pos a))
-        body
+  let has_negation = List.exists (function `Neg _ -> true | _ -> false) tagged in
+  if has_negation then begin
+    (* static order (the pre-reordering behavior), delta first *)
+    let rec go lits s pending =
+      match lits with
+      | [] ->
+        let ok = List.for_all (fun c -> constraint_state s c = `Holds) pending in
+        if ok then f s
+      | (`Neq _ | `Neg _) as c :: rest -> (
+        match constraint_state s c with
+        | `Holds -> go rest s pending
+        | `Fails -> ()
+        | `Deferred -> go rest s (c :: pending))
+      | `Pos a :: rest ->
+        Fact_store.iter_matches store a ~init:s (fun s' -> go rest s' pending)
+      | `Delta (a, tuples) :: rest ->
+        Fact_store.iter_matches_in a tuples ~init:s (fun s' -> go rest s' pending)
     in
-    (* drive the join from the delta atom *)
-    match
-      List.partition (function `Delta _ -> true | `Pos _ | `Neq _ | `Neg _ -> false) tagged
-    with
-    | [], rest -> rest
-    | deltas, rest -> deltas @ rest
-  in
-  go lits init []
+    let lits =
+      match
+        List.partition
+          (function `Delta _ -> true | `Pos _ | `Neq _ | `Neg _ -> false)
+          tagged
+      with
+      | [], rest -> rest
+      | deltas, rest -> deltas @ rest
+    in
+    go lits init []
+  end
+  else begin
+    (* Most-bound-first dynamic join. Purely an evaluation-order change:
+       disequalities are store-independent, so checking them earlier only
+       prunes — the satisfying-substitution set is unchanged. *)
+    let deltas, positives, constraints =
+      List.fold_right
+        (fun lit (ds, ps, cs) ->
+          match lit with
+          | `Delta (a, tuples) -> ((a, tuples) :: ds, ps, cs)
+          | `Pos a -> (ds, a :: ps, cs)
+          | (`Neq _) as c -> (ds, ps, c :: cs)
+          | `Neg _ -> assert false (* this branch is Neg-free *))
+        tagged ([], [], [])
+    in
+    (* Groundness of [t] under [s] without building [Subst.apply s t]:
+       every variable must be bound (matching binds to ground store
+       tuples, but double-check groundness of the image to be exact). *)
+    let ground_under s t =
+      Term.is_ground t
+      || Term.vars_fold
+           (fun acc x ->
+             acc
+             && match Subst.find x s with
+                | Some u -> Term.is_ground u
+                | None -> false)
+           true t
+    in
+    let bound_args s (a : Atom.t) =
+      List.fold_left (fun n t -> if ground_under s t then n + 1 else n) 0 a.Atom.args
+    in
+    (* Check currently-checkable constraints; [None] on failure. *)
+    let filter_constraints s cs =
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | c :: rest -> (
+          match constraint_state s c with
+          | `Holds -> go acc rest
+          | `Fails -> None
+          | `Deferred -> go (c :: acc) rest)
+      in
+      go [] cs
+    in
+    (* Most arguments ground first; [>] keeps ties in body order. *)
+    let pick_most_bound s poss =
+      let rec go best_a best_score seen = function
+        | [] -> (best_a, List.rev seen)
+        | a :: rest ->
+          let sc = bound_args s a in
+          if sc > best_score then go a sc (best_a :: seen) rest
+          else go best_a best_score (a :: seen) rest
+      in
+      match poss with
+      | [] -> assert false
+      | a :: rest -> go a (bound_args s a) [] rest
+    in
+    let rec go s cs deltas poss =
+      match filter_constraints s cs with
+      | None -> ()
+      | Some cs -> (
+        match deltas with
+        | (a, tuples) :: drest ->
+          Fact_store.iter_matches_in a tuples ~init:s (fun s' -> go s' cs drest poss)
+        | [] -> (
+          match poss with
+          | [] -> if cs = [] then f s
+          | _ :: _ ->
+            let a, rest = pick_most_bound s poss in
+            Fact_store.iter_matches store a ~init:s (fun s' -> go s' cs [] rest)))
+    in
+    go init constraints deltas positives
+  end
 
 exception Stop of status
 

@@ -177,13 +177,19 @@ let iter_matches_in (pattern : Atom.t) tuples ~init f =
       | None -> ())
     tuples
 
+(* Bulk copy: share the (immutable) tuples list, duplicate the membership
+   table, and leave indexes to be rebuilt lazily on first bound probe —
+   per-fact [add] would re-check membership and re-maintain indexes for
+   nothing. *)
 let copy t =
-  let t' = create () in
+  let rels = Hashtbl.create (max 64 (Hashtbl.length t.rels)) in
   Hashtbl.iter
     (fun rel rs ->
-      List.iter (fun args -> ignore (add t' (Atom.cmake rel args))) (List.rev rs.tuples))
+      Hashtbl.add rels rel
+        { tuples = rs.tuples; n = rs.n; members = Tuple_tbl.copy rs.members;
+          indexes = [] })
     t.rels;
-  t'
+  { rels; total = t.total }
 
 (** Facts of [t] as a sorted list of strings; handy in tests for equality
     modulo ordering. *)

@@ -4,32 +4,49 @@
     distinct string is mapped to a unique small integer, so that equality and
     hashing of symbols are O(1) regardless of the length of the name. The
     intern table is global and append-only, which is safe because symbols are
-    never deleted during a run. *)
+    never deleted during a run.
+
+    A single mutex guards the table, the names array (which is swapped out
+    when it grows) and the gensym counter, so interning is safe from any
+    domain. [equal]/[compare]/[hash] stay lock-free: they touch only the
+    immutable integer. *)
 
 type t = int
 
+let mu = Mutex.create ()
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
 let names : string array ref = ref (Array.make 1024 "")
 let next = ref 0
 
 let intern s =
-  match Hashtbl.find_opt table s with
-  | Some id -> id
-  | None ->
-    let id = !next in
-    incr next;
-    if id >= Array.length !names then begin
-      let bigger = Array.make (2 * Array.length !names) "" in
-      Array.blit !names 0 bigger 0 (Array.length !names);
-      names := bigger
-    end;
-    !names.(id) <- s;
-    Hashtbl.add table s id;
-    id
+  Mutex.lock mu;
+  let id =
+    match Hashtbl.find_opt table s with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      if id >= Array.length !names then begin
+        let bigger = Array.make (2 * Array.length !names) "" in
+        Array.blit !names 0 bigger 0 (Array.length !names);
+        names := bigger
+      end;
+      !names.(id) <- s;
+      Hashtbl.add table s id;
+      id
+  in
+  Mutex.unlock mu;
+  id
 
 let name id =
-  if id < 0 || id >= !next then invalid_arg "Symbol.name: unknown symbol"
-  else !names.(id)
+  Mutex.lock mu;
+  let r =
+    if id < 0 || id >= !next then None else Some !names.(id)
+  in
+  Mutex.unlock mu;
+  match r with
+  | Some s -> s
+  | None -> invalid_arg "Symbol.name: unknown symbol"
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
@@ -38,8 +55,8 @@ let pp ppf id = Format.pp_print_string ppf (name id)
 
 (* A private namespace for generated symbols (gensym), used by rewriters to
    create fresh relation names that cannot clash with user symbols. *)
-let fresh_counter = ref 0
+let fresh_counter = Atomic.make 0
 
 let fresh prefix =
-  incr fresh_counter;
-  intern (Printf.sprintf "%s#%d" prefix !fresh_counter)
+  let n = Atomic.fetch_and_add fresh_counter 1 + 1 in
+  intern (Printf.sprintf "%s#%d" prefix n)

@@ -9,7 +9,9 @@
     [g(t, g(u, h(...)))], and the fact store, unifier and QSQ engines probe
     the same spines over and over. Terms are therefore hash-consed in the
     style of Filliâtre–Conchon ("Type-safe modular hash-consing"): a global
-    weak table maps each structure to a unique physical representative, so
+    weak table (sharded, with a per-shard mutex, so concurrent interning from
+    multiple domains is safe) maps each structure to a unique physical
+    representative, so
 
     - [equal] is physical equality [(==)],
     - [hash], [is_ground], [depth] and [size] are cached field reads,
@@ -66,8 +68,19 @@ module W = Weak.Make (struct
   let hash t = t.hash
 end)
 
-let table = W.create 8192
-let next_tag = ref 0
+(* The table is sharded by hash, one weak table + mutex per shard, so
+   concurrent cons calls from peer domains (parallel dQSQ) only contend
+   when they hash to the same shard. Within a shard, [W.merge] under the
+   mutex guarantees a unique physical representative per structure. *)
+let shard_count = 16
+let tables = Array.init shard_count (fun _ -> W.create 1024)
+let locks = Array.init shard_count (fun _ -> Mutex.create ())
+
+(* Tags are drawn atomically *before* the table lookup, so a constructor
+   call that hits an existing representative wastes its tag. Gaps are
+   harmless: tags only feed the process-local [compare] below, which needs
+   distinctness and determinism within a run, not density. *)
+let next_tag = Atomic.make 0
 
 (* Registered instruments (lib/obs): distinct structures interned vs
    constructor calls answered by an existing representative. *)
@@ -75,12 +88,14 @@ let interned_c = Obs.Metrics.counter "term.interned"
 let hits_c = Obs.Metrics.counter "term.hashcons_hits"
 
 let hashcons node ~hash ~ground ~depth ~size =
-  let candidate = { node; tag = !next_tag; hash; ground; depth; size } in
-  let t = W.merge table candidate in
-  if t == candidate then begin
-    incr next_tag;
-    Obs.Metrics.incr interned_c
-  end
+  let tag = Atomic.fetch_and_add next_tag 1 in
+  let candidate = { node; tag; hash; ground; depth; size } in
+  let i = hash land (shard_count - 1) in
+  let mu = locks.(i) in
+  Mutex.lock mu;
+  let t = W.merge tables.(i) candidate in
+  Mutex.unlock mu;
+  if t == candidate then Obs.Metrics.incr interned_c
   else Obs.Metrics.incr hits_c;
   t
 
@@ -103,10 +118,11 @@ let capp f args =
 
 let app f args = capp (Symbol.intern f) args
 
-(** Total order on terms: creation (interning) order, O(1). Deterministic
-    within a process run, but NOT stable across runs or processes — any
-    output that must be byte-identical across runs orders terms with
-    {!compare_structural} instead (the {!Set} and {!Map} below do). *)
+(** Total order on terms: creation-attempt order, O(1). Deterministic
+    within a sequential run, but NOT stable across runs, processes, or
+    domain schedules (parallel runs race on tag allocation) — any output
+    that must be byte-identical orders terms with {!compare_structural}
+    instead (the {!Set} and {!Map} below do). *)
 let compare a b = Int.compare a.tag b.tag
 
 (** Structural order (constants < variables < applications, then by symbol
@@ -150,7 +166,15 @@ let to_string t = Format.asprintf "%a" pp t
 
 (* Introspection for tests and diagnostics: number of live (not yet
    collected) terms in the hash-cons table. *)
-let live_terms () = W.count table
+let live_terms () =
+  let n = ref 0 in
+  Array.iteri
+    (fun i table ->
+      Mutex.lock locks.(i);
+      n := !n + W.count table;
+      Mutex.unlock locks.(i))
+    tables;
+  !n
 
 module As_key = struct
   type nonrec t = t

@@ -32,6 +32,37 @@ let g_sent = Obs.Metrics.counter "sim.sent"
 let g_delivered = Obs.Metrics.counter "sim.delivered"
 let g_dropped = Obs.Metrics.counter "sim.dropped"
 let g_bytes = Obs.Metrics.counter "sim.bytes"
+let g_domains = Obs.Metrics.gauge "sim.domains"
+let g_mailbox_depth = Obs.Metrics.gauge "sim.mailbox_depth"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scheduler state                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One mailbox per worker domain; peers are pinned to domains, so each
+   peer's handler only ever runs on its owner domain (this is what makes
+   the per-peer mutable state in the engines and in the Dijkstra–Scholten
+   detector race-free without locks). *)
+type 'msg mailbox = {
+  mb_mu : Mutex.t;
+  mb_cond : Condition.t;
+  mb_q : (peer_id * peer_id * 'msg) Queue.t;  (* (src, dst, payload) *)
+}
+
+type 'msg parallel = {
+  mailboxes : 'msg mailbox array;
+  owner : (peer_id, int) Hashtbl.t;  (* read-only once domains are up *)
+  in_flight : int Atomic.t;
+      (* queued + currently-being-handled messages. Incremented BEFORE a
+         message is enqueued and decremented only AFTER its handler
+         returns, so a handler's own sends are counted before its unit is
+         released: [in_flight = 0] is a stable quiescence signal. *)
+  stop : bool Atomic.t;
+  par_deliveries : int Atomic.t;
+  par_budget : int;
+  par_error : exn option Atomic.t;  (* first handler exception / budget *)
+  book_mu : Mutex.t;  (* guards per_channel, trace and loss_rng *)
+}
 
 type 'msg t = {
   rng : Random.State.t;
@@ -57,6 +88,8 @@ type 'msg t = {
   mutable trace : (peer_id * peer_id * string) list;  (** reverse delivery log *)
   mutable tracing : bool;
   describe : 'msg -> string;
+  mutable par : 'msg parallel option;
+      (** [Some _] only while {!run_parallel} is driving the network *)
 }
 
 let create ?(seed = 0) ?(policy = Random_interleaving) ?(loss = 0.0)
@@ -85,6 +118,7 @@ let create ?(seed = 0) ?(policy = Random_interleaving) ?(loss = 0.0)
     trace = [];
     tracing = false;
     describe;
+    par = None;
   }
 
 let metrics t = t.metrics
@@ -122,25 +156,67 @@ let channel t key =
 let tick local global = Obs.Metrics.incr local; Obs.Metrics.incr global
 let tick_by n local global = Obs.Metrics.incr ~by:n local; Obs.Metrics.incr ~by:n global
 
-(** Send a message; it is queued, not delivered synchronously — even a peer
-    sending to itself goes through its own channel. *)
-let send t ~src ~dst msg =
-  if not (Hashtbl.mem t.handlers dst) then raise (Unknown_peer dst);
-  if t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss then begin
-    (* failure injection: the channel silently loses the message *)
+let bump_per_channel t key =
+  Hashtbl.replace t.per_channel key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_channel key))
+
+(* Parallel route: the message goes straight into the destination peer's
+   owner-domain mailbox. in_flight is incremented before the enqueue (see
+   the [parallel] type) so quiescence detection never under-counts. *)
+let send_parallel t p ~src ~dst msg =
+  let lost =
+    t.loss > 0.0
+    && begin
+         (* the loss rng is shared state; serialize draws. Drop decisions
+            depend on arrival order at the rng, so lossy parallel runs are
+            not reproducible — deterministic replay stays with the
+            sequential scheduler. *)
+         Mutex.lock p.book_mu;
+         let r = Random.State.float t.loss_rng 1.0 in
+         Mutex.unlock p.book_mu;
+         r < t.loss
+       end
+  in
+  if lost then begin
     tick t.c_dropped g_dropped;
     tick t.c_sent g_sent
   end
   else begin
-    let key = (src, dst) in
-    Queue.add msg (channel t key);
-    Queue.add (t.seq, key) t.pending;
-    t.seq <- t.seq + 1;
+    let mb = p.mailboxes.(Hashtbl.find p.owner dst) in
+    Atomic.incr p.in_flight;
+    Mutex.lock mb.mb_mu;
+    Queue.add (src, dst, msg) mb.mb_q;
+    Obs.Metrics.set_max g_mailbox_depth (Queue.length mb.mb_q);
+    Condition.signal mb.mb_cond;
+    Mutex.unlock mb.mb_mu;
     tick t.c_sent g_sent;
     tick_by (t.size_of msg) t.c_bytes g_bytes;
-    Hashtbl.replace t.per_channel key
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_channel key))
+    Mutex.lock p.book_mu;
+    bump_per_channel t (src, dst);
+    Mutex.unlock p.book_mu
   end
+
+(** Send a message; it is queued, not delivered synchronously — even a peer
+    sending to itself goes through its own channel. *)
+let send t ~src ~dst msg =
+  if not (Hashtbl.mem t.handlers dst) then raise (Unknown_peer dst);
+  match t.par with
+  | Some p -> send_parallel t p ~src ~dst msg
+  | None ->
+    if t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss then begin
+      (* failure injection: the channel silently loses the message *)
+      tick t.c_dropped g_dropped;
+      tick t.c_sent g_sent
+    end
+    else begin
+      let key = (src, dst) in
+      Queue.add msg (channel t key);
+      Queue.add (t.seq, key) t.pending;
+      t.seq <- t.seq + 1;
+      tick t.c_sent g_sent;
+      tick_by (t.size_of msg) t.c_bytes g_bytes;
+      bump_per_channel t key
+    end
 
 let nonempty_channels t =
   let out = ref [] in
@@ -204,6 +280,125 @@ let run ?(max_steps = 10_000_000) t =
     if !n > max_steps then raise (Budget_exhausted max_steps)
   done;
   !n
+
+(* ------------------------------------------------------------------ *)
+(* Parallel run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let record_error p e =
+  (* first error wins; losers just see stop and drain out *)
+  ignore (Atomic.compare_and_set p.par_error None (Some e))
+
+let wake_all p =
+  Array.iter
+    (fun mb ->
+      Mutex.lock mb.mb_mu;
+      Condition.broadcast mb.mb_cond;
+      Mutex.unlock mb.mb_mu)
+    p.mailboxes
+
+let stop_all p =
+  Atomic.set p.stop true;
+  wake_all p
+
+(* Worker loop for domain [d]: block on the mailbox, deliver, release the
+   message's in_flight unit only after the handler returned (so handler
+   sends are already counted), detect global quiescence on the transition
+   to zero. On stop, exit immediately — stop with nonempty queues only
+   happens on error/budget, where dropping in-flight messages is the
+   intended behavior (the exception is re-raised by [run_parallel]). *)
+let worker t p d =
+  let mb = p.mailboxes.(d) in
+  let rec loop () =
+    Mutex.lock mb.mb_mu;
+    while Queue.is_empty mb.mb_q && not (Atomic.get p.stop) do
+      Condition.wait mb.mb_cond mb.mb_mu
+    done;
+    if Atomic.get p.stop then Mutex.unlock mb.mb_mu
+    else begin
+      let src, dst, msg = Queue.pop mb.mb_q in
+      Mutex.unlock mb.mb_mu;
+      tick t.c_delivered g_delivered;
+      if t.tracing then begin
+        Mutex.lock p.book_mu;
+        t.trace <- (src, dst, t.describe msg) :: t.trace;
+        Mutex.unlock p.book_mu
+      end;
+      let handler = Hashtbl.find t.handlers dst in
+      (try handler t ~src msg
+       with e ->
+         record_error p e;
+         stop_all p);
+      let delivered = 1 + Atomic.fetch_and_add p.par_deliveries 1 in
+      if delivered > p.par_budget then begin
+        record_error p (Budget_exhausted p.par_budget);
+        stop_all p
+      end;
+      (* release after the handler: its sends incremented in_flight first,
+         so a transition to 0 here means every queue is empty and every
+         handler has returned — stable quiescence. *)
+      if Atomic.fetch_and_add p.in_flight (-1) = 1 then stop_all p;
+      loop ()
+    end
+  in
+  loop ()
+
+(** Run to quiescence with [jobs] worker domains; peers are pinned to
+    domains round-robin in sorted-name order. Returns the number of
+    deliveries performed by this call. Delivery order is whatever the
+    domain scheduler produces — for confluent protocols (dQSQ) the final
+    fact sets still match the sequential scheduler exactly. *)
+let run_parallel ?(max_steps = 10_000_000) ?jobs t =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Sim.run_parallel: jobs = %d" j)
+    | None -> Domain.recommended_domain_count ()
+  in
+  Obs.Trace.with_span "sim.run_parallel" ~attrs:[ ("jobs", string_of_int jobs) ]
+  @@ fun () ->
+  let peer_list = List.sort compare (peers t) in
+  let owner = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.add owner id (i mod jobs)) peer_list;
+  let p =
+    {
+      mailboxes =
+        Array.init jobs (fun _ ->
+            { mb_mu = Mutex.create (); mb_cond = Condition.create ();
+              mb_q = Queue.create () });
+      owner;
+      in_flight = Atomic.make 0;
+      stop = Atomic.make false;
+      par_deliveries = Atomic.make 0;
+      par_budget = max_steps;
+      par_error = Atomic.make None;
+      book_mu = Mutex.create ();
+    }
+  in
+  (* Migrate messages already queued under the sequential scheduler (e.g.
+     the initial query injected before [run_parallel]) into the mailboxes.
+     Iterating channels in creation order preserves per-channel FIFO. *)
+  for i = 0 to t.channel_count - 1 do
+    let (_, dst) as key = t.channel_order.(i) in
+    match Hashtbl.find_opt t.channels key with
+    | Some q ->
+      let mb = p.mailboxes.(Hashtbl.find owner dst) in
+      while not (Queue.is_empty q) do
+        let msg = Queue.pop q in
+        Atomic.incr p.in_flight;
+        Queue.add (fst key, dst, msg) mb.mb_q
+      done
+    | None -> ()
+  done;
+  Queue.clear t.pending;
+  if Atomic.get p.in_flight = 0 then Atomic.set p.stop true;
+  t.par <- Some p;
+  Obs.Metrics.set g_domains jobs;
+  let domains = Array.init jobs (fun d -> Domain.spawn (fun () -> worker t p d)) in
+  Array.iter Domain.join domains;
+  t.par <- None;
+  (match Atomic.get p.par_error with Some e -> raise e | None -> ());
+  Atomic.get p.par_deliveries
 
 type stats = {
   sent : int;

@@ -54,6 +54,21 @@ val run : ?max_steps:int -> 'msg t -> int
 (** Deliver until quiescent; returns the number of deliveries.
     @raise Budget_exhausted after [max_steps] deliveries. *)
 
+val run_parallel : ?max_steps:int -> ?jobs:int -> 'msg t -> int
+(** Deliver until quiescent using [jobs] worker domains (default
+    {!Domain.recommended_domain_count}), one thread-safe mailbox per
+    domain, peers pinned round-robin in sorted-name order — so each
+    peer's handler always runs on the same domain and per-peer mutable
+    state needs no locks. Messages already queued under the sequential
+    scheduler are migrated in (per-channel FIFO preserved). Termination
+    uses an atomic in-flight count: a message's unit is released only
+    after its handler returns, so the count reaching zero is a stable
+    global-quiescence signal. Delivery order across channels is
+    nondeterministic; for confluent protocols (dQSQ) final fact sets
+    equal the sequential scheduler's.
+    @raise Budget_exhausted after [max_steps] total deliveries.
+    @raise Invalid_argument when [jobs < 1]. *)
+
 type stats = {
   sent : int;
   delivered : int;

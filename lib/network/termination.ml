@@ -11,7 +11,17 @@
     computation has terminated.
 
     The detector wraps user messages in {!wrapped}; user handlers send
-    through the detector so that deficits are tracked. *)
+    through the detector so that deficits are tracked.
+
+    Parallel safety (under {!Sim.run_parallel}): the [states] table is
+    fully populated by [add_peer] before any domain is spawned, so at run
+    time [state] only reads it. Peer [p]'s [parent]/[deficit] fields are
+    mutated exclusively from [p]'s own handler ([send_work] bumps the
+    {e sender}'s deficit and is only called from inside the sender's
+    handler, or from the main domain before the run starts), and the sim
+    pins each peer to one domain — so no field is ever written from two
+    domains. [terminated] is written by the root's domain and read by the
+    main domain after [Domain.join], which orders the accesses. *)
 
 type peer_id = Sim.peer_id
 

@@ -3,19 +3,31 @@
     Instruments are identified by dotted names following the
     [subsystem.metric] scheme (e.g. ["fact_store.probes"]). Looking up a
     name a second time returns the same instrument, so independent modules
-    can share a counter by agreeing on its name. A registry is a plain
-    hash table; the process-wide {!default} registry backs the snapshot
-    surfaces, while components that need per-instance accounting (the
-    network simulator) carry their own registry.
+    can share a counter by agreeing on its name. The process-wide
+    {!default} registry backs the snapshot surfaces, while components that
+    need per-instance accounting (the network simulator) carry their own
+    registry.
 
-    Updates are a single mutable-field write — cheap enough to leave on in
-    the hot paths of the engines. *)
+    Every instrument is safe to update from any domain, so instrumentation
+    stays on in parallel dQSQ runs:
+    - counters stripe their value over a small array of [Atomic.t] cells
+      indexed by domain id, so concurrent increments do not contend on one
+      cache line; reading sums the stripes (reads are monotone but may
+      race with in-flight increments, which is fine for telemetry);
+    - gauges are a single [Atomic.t];
+    - histograms and the registry table itself are mutex-guarded (they are
+      off the hot paths). *)
 
-type counter = { c_name : string; mutable c : int }
-type gauge = { g_name : string; mutable g : int }
+(* Power of two so [land] replaces [mod]; 8 stripes covers the domain
+   counts we spawn without wasting a page per counter. *)
+let stripes = 8
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; g : int Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -27,9 +39,11 @@ type histogram = {
 
 type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type registry = (string, instrument) Hashtbl.t
+type registry = { tbl : (string, instrument) Hashtbl.t; mu : Mutex.t }
 
-let create_registry () : registry = Hashtbl.create 64
+let create_registry () : registry =
+  { tbl = Hashtbl.create 64; mu = Mutex.create () }
+
 let default : registry = create_registry ()
 
 let name_of = function
@@ -42,30 +56,36 @@ let kind_of = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let register (registry : registry) name make classify =
-  match Hashtbl.find_opt registry name with
-  | Some ins -> (
-    match classify ins with
-    | Some x -> x
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name (kind_of ins)))
-  | None ->
-    let x, ins = make () in
-    Hashtbl.add registry name ins;
-    x
+  with_lock registry.mu (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some ins -> (
+        match classify ins with
+        | Some x -> x
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
+               (kind_of ins)))
+      | None ->
+        let x, ins = make () in
+        Hashtbl.add registry.tbl name ins;
+        x)
 
 let counter ?(registry = default) name : counter =
   register registry name
     (fun () ->
-      let c = { c_name = name; c = 0 } in
+      let c = { c_name = name; cells = Array.init stripes (fun _ -> Atomic.make 0) } in
       (c, Counter c))
     (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
 
 let gauge ?(registry = default) name : gauge =
   register registry name
     (fun () ->
-      let g = { g_name = name; g = 0 } in
+      let g = { g_name = name; g = Atomic.make 0 } in
       (g, Gauge g))
     (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
 
@@ -73,17 +93,28 @@ let histogram ?(registry = default) name : histogram =
   register registry name
     (fun () ->
       let h =
-        { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity;
-          h_max = neg_infinity; h_buckets = Hashtbl.create 8 }
+        { h_name = name; h_mu = Mutex.create (); h_count = 0; h_sum = 0.0;
+          h_min = infinity; h_max = neg_infinity; h_buckets = Hashtbl.create 8 }
       in
       (h, Histogram h))
     (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
-let incr ?(by = 1) (c : counter) = c.c <- c.c + by
-let value (c : counter) = c.c
+let stripe_index () = (Domain.self () :> int) land (stripes - 1)
 
-let set (g : gauge) v = g.g <- v
-let gauge_value (g : gauge) = g.g
+let incr ?(by = 1) (c : counter) =
+  ignore (Atomic.fetch_and_add c.cells.(stripe_index ()) by)
+
+let value (c : counter) =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
+let set (g : gauge) v = Atomic.set g.g v
+let gauge_value (g : gauge) = Atomic.get g.g
+
+(* Lock-free high-water mark: retry the CAS until either we published v or
+   somebody else published something at least as large. *)
+let rec set_max (g : gauge) v =
+  let cur = Atomic.get g.g in
+  if v > cur && not (Atomic.compare_and_set g.g cur v) then set_max g v
 
 (* Log-scale (base 2) bucketing: an observation v > 0 lands in the bucket
    whose upper bound is the smallest power of two >= v. *)
@@ -95,14 +126,15 @@ let bucket_exponent v =
     if Float.pow 2.0 (float_of_int (e - 1)) >= v then e - 1 else e
 
 let observe (h : histogram) v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let e = bucket_exponent v in
-  match Hashtbl.find_opt h.h_buckets e with
-  | Some r -> Stdlib.incr r
-  | None -> Hashtbl.add h.h_buckets e (ref 1)
+  with_lock h.h_mu (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let e = bucket_exponent v in
+      match Hashtbl.find_opt h.h_buckets e with
+      | Some r -> Stdlib.incr r
+      | None -> Hashtbl.add h.h_buckets e (ref 1))
 
 let observe_int h n = observe h (float_of_int n)
 
@@ -116,39 +148,44 @@ type histogram_summary = {
 }
 
 let summary (h : histogram) : histogram_summary =
-  let buckets =
-    Hashtbl.fold
-      (fun e r acc ->
-        let le = if e = min_int then 0.0 else Float.pow 2.0 (float_of_int e) in
-        (le, !r) :: acc)
-      h.h_buckets []
-    |> List.sort compare
-  in
-  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets }
+  with_lock h.h_mu (fun () ->
+      let buckets =
+        Hashtbl.fold
+          (fun e r acc ->
+            let le = if e = min_int then 0.0 else Float.pow 2.0 (float_of_int e) in
+            (le, !r) :: acc)
+          h.h_buckets []
+        |> List.sort compare
+      in
+      { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets })
 
 let instruments (registry : registry) : (string * instrument) list =
-  Hashtbl.fold (fun name ins acc -> (name, ins) :: acc) registry []
+  with_lock registry.mu (fun () ->
+      Hashtbl.fold (fun name ins acc -> (name, ins) :: acc) registry.tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let find ?(registry = default) name = Hashtbl.find_opt registry name
+let find ?(registry = default) name =
+  with_lock registry.mu (fun () -> Hashtbl.find_opt registry.tbl name)
 
 (** Current value of a named counter, 0 when absent or not a counter —
     convenient for tests and thin read-only views. *)
 let counter_value ?(registry = default) name =
-  match Hashtbl.find_opt registry name with Some (Counter c) -> c.c | _ -> 0
+  match find ~registry name with Some (Counter c) -> value c | _ -> 0
 
 (** Zero every instrument (the instruments themselves stay registered, so
     handles held by other modules remain valid). *)
 let reset ?(registry = default) () =
-  Hashtbl.iter
-    (fun _ ins ->
-      match ins with
-      | Counter c -> c.c <- 0
-      | Gauge g -> g.g <- 0
-      | Histogram h ->
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity;
-        Hashtbl.reset h.h_buckets)
-    registry
+  with_lock registry.mu (fun () ->
+      Hashtbl.iter
+        (fun _ ins ->
+          match ins with
+          | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
+          | Gauge g -> Atomic.set g.g 0
+          | Histogram h ->
+            with_lock h.h_mu (fun () ->
+                h.h_count <- 0;
+                h.h_sum <- 0.0;
+                h.h_min <- infinity;
+                h.h_max <- neg_infinity;
+                Hashtbl.reset h.h_buckets))
+        registry.tbl)

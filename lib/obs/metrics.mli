@@ -4,7 +4,10 @@
     ["sim.delivered"], ...). Registering a name twice returns the same
     instrument, so modules share instruments by agreeing on names; asking
     for a name under a different instrument kind raises [Invalid_argument].
-    Updates are a single field write — cheap enough to leave on. *)
+    Updates are cheap enough to leave on, and every instrument is safe to
+    update concurrently from multiple domains: counters stripe atomically
+    per domain, gauges are a single [Atomic.t], histograms and the
+    registry itself are mutex-guarded. *)
 
 type counter
 type gauge
@@ -27,6 +30,10 @@ val value : counter -> int
 
 val set : gauge -> int -> unit
 val gauge_value : gauge -> int
+
+val set_max : gauge -> int -> unit
+(** Raise the gauge to [v] if [v] exceeds its current value (atomic
+    high-water mark); no-op otherwise. Used for e.g. peak mailbox depth. *)
 
 val observe : histogram -> float -> unit
 val observe_int : histogram -> int -> unit

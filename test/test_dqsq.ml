@@ -121,6 +121,77 @@ let test_fig3_dqsq_all_policies () =
         [ 0; 1; 2; 3 ])
     [ Network.Sim.Random_interleaving; Network.Sim.Round_robin; Network.Sim.Global_fifo ]
 
+(* Confluence: the domain-parallel scheduler must reproduce the sequential
+   run exactly — answers (sorted structurally by the engine), fact totals,
+   and per-peer fact counts. *)
+let test_fig3_parallel_eq_sequential () =
+  let seq =
+    Qsq_engine.solve ~seed:5 (Dprogram.figure3 ()) ~edb:(fig3_edb ()) ~query:(fig3_query ())
+  in
+  List.iter
+    (fun jobs ->
+      let par =
+        Qsq_engine.solve ~jobs (Dprogram.figure3 ()) ~edb:(fig3_edb ())
+          ~query:(fig3_query ())
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "answers equal at jobs=%d" jobs)
+        (List.map Atom.to_string seq.Qsq_engine.answers)
+        (List.map Atom.to_string par.Qsq_engine.answers);
+      Alcotest.(check int)
+        (Printf.sprintf "fact totals equal at jobs=%d" jobs)
+        seq.Qsq_engine.total_facts par.Qsq_engine.total_facts;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "per-peer facts equal at jobs=%d" jobs)
+        seq.Qsq_engine.facts_per_peer par.Qsq_engine.facts_per_peer)
+    [ 1; 2; 4 ]
+
+(* Same confluence check on ring programs large enough that delegation
+   chains cross every peer. *)
+let test_ring_parallel_eq_sequential () =
+  List.iter
+    (fun (k, seed) ->
+      let v x = Term.var x in
+      let rules =
+        List.concat_map
+          (fun i ->
+            let next = (i + 1) mod k in
+            let pi = Printf.sprintf "p%d" i and pn = Printf.sprintf "p%d" next in
+            let ri = Printf.sprintf "R%d" i and rn = Printf.sprintf "R%d" next in
+            let ei = Printf.sprintf "E%d" i in
+            [ Drule.make
+                (Datom.make ~rel:ri ~peer:pi [ v "X"; v "Y" ])
+                [ Drule.Pos (Datom.make ~rel:ei ~peer:pi [ v "X"; v "Y" ]) ];
+              Drule.make
+                (Datom.make ~rel:ri ~peer:pi [ v "X"; v "Z" ])
+                [ Drule.Pos (Datom.make ~rel:ei ~peer:pi [ v "X"; v "Y" ]);
+                  Drule.Pos (Datom.make ~rel:rn ~peer:pn [ v "Y"; v "Z" ]) ] ])
+          (List.init k Fun.id)
+      in
+      let program = Dprogram.make rules in
+      let rg = Random.State.make [| seed |] in
+      let edb =
+        List.init (k * 12) (fun _ ->
+            let i = Random.State.int rg k in
+            let c () = Term.const (Printf.sprintf "n%d" (Random.State.int rg 8)) in
+            Datom.make ~rel:(Printf.sprintf "E%d" i) ~peer:(Printf.sprintf "p%d" i)
+              [ c (); c () ])
+      in
+      let query = Datom.make ~rel:"R0" ~peer:"p0" [ Term.const "n0"; Term.var "Y" ] in
+      let seq = Qsq_engine.solve ~seed program ~edb ~query in
+      List.iter
+        (fun jobs ->
+          let par = Qsq_engine.solve ~jobs program ~edb ~query in
+          Alcotest.(check (list string))
+            (Printf.sprintf "ring %d answers equal at jobs=%d" k jobs)
+            (List.map Atom.to_string seq.Qsq_engine.answers)
+            (List.map Atom.to_string par.Qsq_engine.answers);
+          Alcotest.(check int)
+            (Printf.sprintf "ring %d fact totals equal at jobs=%d" k jobs)
+            seq.Qsq_engine.total_facts par.Qsq_engine.total_facts)
+        [ 2; 3 ])
+    [ (3, 11); (4, 12); (5, 13) ]
+
 (* Theorem 1: dQSQ's facts (modulo zeta) == centralized QSQ's facts on the
    localized program. *)
 let check_theorem1 program edb query seed =
@@ -340,6 +411,10 @@ let suite =
       [ Alcotest.test_case "distributed naive" `Quick test_fig3_distributed_naive;
         Alcotest.test_case "dQSQ" `Quick test_fig3_dqsq;
         Alcotest.test_case "dQSQ under all policies" `Quick test_fig3_dqsq_all_policies;
+        Alcotest.test_case "parallel == sequential (Fig. 3)" `Quick
+          test_fig3_parallel_eq_sequential;
+        Alcotest.test_case "parallel == sequential (rings)" `Quick
+          test_ring_parallel_eq_sequential;
         Alcotest.test_case "Theorem 1 on Fig. 3" `Quick test_theorem1_fig3 ] );
     ( "random",
       qcheck [ prop_theorem1_random; prop_dqsq_answers_random; prop_dnaive_answers_random ] );
