@@ -714,6 +714,113 @@ let e19 ?(ci = false) () =
   e19_times := List.rev !e19_times
 
 (* ------------------------------------------------------------------ *)
+(* E20: the diagnosis service under interleaved session load            *)
+(* ------------------------------------------------------------------ *)
+
+(* Thousands of sessions over two tenants, a bounded window of them in
+   flight at any moment, every one stepped a quantum of deliveries per
+   round-robin turn — the serve workload without the pipe. Engines recycle
+   through the tenant pools, so steady-state sessions ride warm codec
+   dictionaries and pre-allocated stores; wire bytes are the codec's real
+   frame lengths (wire_verify stays on: every message is decoded and
+   checked physically identical). Latency is open-to-report wall time
+   under the interleaving, so it grows with the window — throughput and
+   the p50/p99 spread are the numbers to watch. Rows land in
+   BENCH_diag.json as E20/* pseudo-experiments. *)
+let e20_rows : (string * float) list ref = ref []
+
+let e20 ?(ci = false) () =
+  let sessions = if ci then 120 else 1200 in
+  let window = 32 in
+  section "E20"
+    (Printf.sprintf
+       "Service: %d interleaved sessions, 2 tenants, window %d, warm engines"
+       sessions window);
+  let coord = Service.Coordinator.create ~quantum:8 () in
+  let ok = function Ok v -> v | Error m -> failwith ("E20: " ^ m) in
+  ignore (ok (Service.Coordinator.add_tenant coord ~name:"running"
+                (Petri.Examples.running_example ())));
+  ignore (ok (Service.Coordinator.add_tenant coord ~name:"ring"
+                (Petri.Examples.ring ~peers:3 ())));
+  (* a fixed scenario pool per tenant: cheap, deterministic variety *)
+  let running_scenarios =
+    [ [ ("b", "p1"); ("a", "p2"); ("c", "p1") ];
+      [ ("b", "p1"); ("c", "p1"); ("a", "p2") ];
+      [ ("c", "p1"); ("b", "p1"); ("a", "p2") ] ]
+  in
+  let ring_scenarios =
+    let net = Petri.Net.binarize (Petri.Examples.ring ~peers:3 ()) in
+    List.init 4 (fun i ->
+        let firing =
+          Petri.Exec.random_execution ~rng:(rng (200 + i)) ~steps:(3 + (i mod 2)) net
+        in
+        Petri.Exec.alarms_of_execution net firing)
+  in
+  let nth l i = List.nth l (i mod List.length l) in
+  let start_session i =
+    let tenant, alarms =
+      if i mod 2 = 0 then ("running", nth running_scenarios (i / 2))
+      else ("ring", nth ring_scenarios (i / 2))
+    in
+    let sid = ok (Service.Coordinator.open_session coord ~tenant) in
+    List.iter
+      (fun (symbol, peer) ->
+        ok (Service.Coordinator.add_alarm coord sid ~symbol ~peer))
+      alarms;
+    ok (Service.Coordinator.start coord sid);
+    sid
+  in
+  let latencies = ref [] in
+  let total_bytes = ref 0 and total_deliveries = ref 0 in
+  let opened = ref 0 and completed = ref 0 in
+  let in_flight = ref [] in
+  let t0 = Obs.Clock.now_s () in
+  while !completed < sessions do
+    while !opened < sessions && List.length !in_flight < window do
+      in_flight := start_session !opened :: !in_flight;
+      incr opened
+    done;
+    ignore (Service.Coordinator.step_round coord);
+    let finished, still =
+      List.partition (Service.Coordinator.is_done coord) !in_flight
+    in
+    List.iter
+      (fun sid ->
+        let r = ok (Service.Coordinator.report coord sid) in
+        latencies := r.Service.Coordinator.latency_s :: !latencies;
+        total_bytes := !total_bytes + r.Service.Coordinator.wire_bytes;
+        total_deliveries := !total_deliveries + r.Service.Coordinator.deliveries;
+        ok (Service.Coordinator.close coord sid);
+        incr completed)
+      finished;
+    in_flight := still
+  done;
+  let wall = Obs.Clock.now_s () -. t0 in
+  let sorted = List.sort compare !latencies in
+  let pct p =
+    List.nth sorted
+      (min (List.length sorted - 1)
+         (int_of_float (p *. float_of_int (List.length sorted))))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let throughput = float_of_int sessions /. wall in
+  let s = Service.Coordinator.stats coord in
+  Printf.printf "%10s %12s %10s %10s %12s %12s\n" "sessions" "sess/s" "p50" "p99"
+    "deliveries" "wire-bytes";
+  Printf.printf "%10d %12.1f %9.1fus %9.1fus %12d %12d\n" sessions throughput
+    (p50 *. 1e6) (p99 *. 1e6) !total_deliveries !total_bytes;
+  Printf.printf
+    "(pool at rest: %d warm engine(s); %d sessions started, %d completed)\n"
+    s.Service.Coordinator.pooled s.Service.Coordinator.started
+    s.Service.Coordinator.completed;
+  e20_rows :=
+    [ ("E20/sessions", float_of_int sessions);
+      ("E20/throughput_sessions_per_s", throughput);
+      ("E20/p50_s", p50);
+      ("E20/p99_s", p99);
+      ("E20/wire_bytes", float_of_int !total_bytes) ]
+
+(* ------------------------------------------------------------------ *)
 (* bechamel timings                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -872,12 +979,15 @@ let () =
   in
   let only = arg_value "--only" in
   let experiments =
-    if ci then [ ("E18", fun () -> e18 ~ci:true ()); ("E19", fun () -> e19 ~ci:true ()) ]
+    if ci then
+      [ ("E18", fun () -> e18 ~ci:true ()); ("E19", fun () -> e19 ~ci:true ());
+        ("E20", fun () -> e20 ~ci:true ()) ]
     else
       [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
         ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
         ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-        ("E17", e17); ("E18", fun () -> e18 ()); ("E19", fun () -> e19 ()) ]
+        ("E17", e17); ("E18", fun () -> e18 ()); ("E19", fun () -> e19 ());
+        ("E20", fun () -> e20 ()) ]
   in
   let experiments =
     match only with
@@ -893,6 +1003,6 @@ let () =
       experiments
   in
   metrics_section stats_json_file;
-  write_bench_json bench_json_file (times @ !e19_times);
+  write_bench_json bench_json_file (times @ !e19_times @ !e20_rows);
   if not (no_timings || ci) then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

@@ -8,6 +8,7 @@
      diagnose  diagnose an alarm sequence with a chosen engine
      rewrite   show the QSQ rewriting of a Datalog program (Fig. 4)
      generate  emit a random distributed safe net
+     serve     run the multi-tenant diagnosis service (line protocol)
 
    Net files use the textual format of Petri.Parse; see `diag generate`. *)
 
@@ -494,6 +495,39 @@ let fuzz_cmd =
     Term.(const run $ runs $ seed $ spec $ steps $ policy $ loss $ jobs $ props
           $ list_props $ max_shrink $ verbose $ stats_arg $ trace_arg)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run socket once quantum stats trace =
+    enable_trace trace;
+    let coord = Service.Coordinator.create ~quantum () in
+    (match socket with
+    | None -> Service.Serve.stdio coord
+    | Some path -> Service.Serve.socket coord ~path ~once);
+    print_stats stats
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"With --socket: serve exactly one connection, then exit. \
+                   On stdin/stdout the server always exits at end of input.")
+  in
+  let quantum =
+    Arg.(value & opt int 16
+         & info [ "quantum" ] ~docv:"N"
+             ~doc:"Message deliveries per session and round-robin turn.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant diagnosis service (line protocol; see \
+             Service.Serve).")
+    Term.(const run $ socket $ once $ quantum $ stats_arg $ trace_arg)
+
 (* ---------------- generate ---------------- *)
 
 let generate_cmd =
@@ -539,4 +573,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "diag" ~version:"1.0.0" ~doc)
-          [ info_cmd; dot_cmd; unfold_cmd; encode_cmd; diagnose_cmd; verify_cmd; rewrite_cmd; generate_cmd; fuzz_cmd ]))
+          [ info_cmd; dot_cmd; unfold_cmd; encode_cmd; diagnose_cmd; verify_cmd; rewrite_cmd; generate_cmd; fuzz_cmd; serve_cmd ]))

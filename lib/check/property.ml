@@ -278,6 +278,44 @@ let parallel_eq_sequential i =
     failf "per-peer fact counts differ under %d domains" i.jobs
   else Pass
 
+(* ------------- the service path == the in-memory path ----------- *)
+
+(* The coordinator runs the same scenario through the full service stack:
+   every protocol message crosses the Wire codec with verification on
+   (decode must return physically identical terms — Roundtrip_mismatch is
+   caught by the guard as a Fail), and the diagnosis itself crosses a
+   configuration-set frame before rendering. The rendered report must be
+   byte-identical to Report.to_string on the directly computed diagnosis,
+   and a session that delivered messages must have accounted wire bytes. *)
+let codec_roundtrip i =
+  let p, r_qsq = baseline i in
+  let direct = Report.to_string p.Diagnoser.net r_qsq.Diagnoser.diagnosis in
+  let coord = Service.Coordinator.create ~quantum:5 () in
+  let ( let* ) r f =
+    match r with Ok v -> f v | Error m -> failf "service: %s" m
+  in
+  let* _placement = Service.Coordinator.add_tenant coord ~name:"t" i.net in
+  let* sid = Service.Coordinator.open_session coord ~tenant:"t" in
+  let rec feed = function
+    | [] -> Pass
+    | (symbol, peer) :: rest ->
+      let* () = Service.Coordinator.add_alarm coord sid ~symbol ~peer in
+      feed rest
+  in
+  (match feed (Petri.Alarm.to_pairs i.alarms) with
+  | Fail _ as f -> f
+  | Pass ->
+    let* () = Service.Coordinator.start coord sid in
+    let* () = Service.Coordinator.drive ~only:sid coord in
+    let* r = Service.Coordinator.report coord sid in
+    if r.Service.Coordinator.body <> direct then
+      failf "service report differs from the in-memory path (%d vs %d bytes)"
+        (String.length r.Service.Coordinator.body) (String.length direct)
+    else if r.Service.Coordinator.deliveries > 0 && r.Service.Coordinator.wire_bytes <= 0
+    then
+      failf "%d deliveries but no wire bytes accounted" r.Service.Coordinator.deliveries
+    else Pass)
+
 (* --------------- seed determinism (sim.mli contract) ------------ *)
 
 let dqsq_run i =
@@ -332,6 +370,8 @@ let all =
       ~applies:single_component_per_peer reference_vs_literal;
     mk "parallel-eq-sequential" "confluence (domain-parallel == sequential dQSQ)"
       parallel_eq_sequential;
+    mk "codec-roundtrip" "wire codec: service reports == in-memory reports"
+      codec_roundtrip;
     mk "seed-determinism" "sim.mli: same seed and policy, same run" seed_determinism;
   ]
 

@@ -37,7 +37,7 @@ val all : t list
     [naive-vs-seminaive], [qsq-vs-reference], [magic-vs-qsq],
     [product-vs-qsq-materialization], [dqsq-vs-qsq], [dqsq-ds-termination],
     [dqsq-loss-soundness], [reference-vs-literal],
-    [parallel-eq-sequential], [seed-determinism]. *)
+    [parallel-eq-sequential], [codec-roundtrip], [seed-determinism]. *)
 
 val find : string -> t option
 val names : string list

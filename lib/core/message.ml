@@ -32,26 +32,55 @@ type t =
   | Subscribe of Symbol.t  (** mangled relation whose tuples the sender wants *)
   | Fact of Atom.t  (** one tuple, over its mangled relation symbol *)
   | Delegate of delegation
+  | Batch of t list
+      (** one envelope: everything a peer flushes to one destination in a
+          single handler activation travels as one message *)
 
-let lit_size = function
-  | Drule.Pos a -> 2 + List.fold_left (fun acc t -> acc + Term.size t) 0 a.Datom.args
-  | Drule.Neq (x, y) -> Term.size x + Term.size y
-
-(** Abstract size (number of symbols), used for byte accounting. *)
-let size = function
-  | Activate _ -> 1
-  | Subscribe _ -> 1
-  | Fact a -> 1 + List.fold_left (fun acc t -> acc + Term.size t) 0 a.Atom.args
-  | Delegate d ->
-    3
-    + List.fold_left (fun acc t -> acc + Term.size t) 0 d.d_prev_sup.Atom.args
-    + List.fold_left (fun acc l -> acc + lit_size l) 0 d.d_remaining
-
-let describe = function
+let rec describe = function
   | Activate r -> Printf.sprintf "activate %s" r
   | Subscribe s -> Printf.sprintf "subscribe %s" (Symbol.name s)
   | Fact a -> Printf.sprintf "fact %s" (Atom.to_string a)
   | Delegate d -> Printf.sprintf "delegate %s" d.d_key
+  | Batch [ m ] -> describe m
+  | Batch ms -> Printf.sprintf "batch[%d]" (List.length ms)
 
-let is_fact = function Fact _ -> true | Activate _ | Subscribe _ | Delegate _ -> false
-let is_control = function Fact _ -> false | Activate _ | Subscribe _ | Delegate _ -> true
+let rec is_fact = function
+  | Fact _ -> true
+  | Batch ms -> ms <> [] && List.for_all is_fact ms
+  | Activate _ | Subscribe _ | Delegate _ -> false
+
+let is_control m = not (is_fact m)
+
+let literal_equal l1 l2 =
+  match (l1, l2) with
+  | Drule.Pos a, Drule.Pos b -> Datom.equal a b
+  | Drule.Neq (x1, y1), Drule.Neq (x2, y2) -> Term.equal x1 x2 && Term.equal y1 y2
+  | Drule.Pos _, Drule.Neq _ | Drule.Neq _, Drule.Pos _ -> false
+
+let delegation_equal d1 d2 =
+  String.equal d1.d_key d2.d_key
+  && String.equal d1.d_origin_rel d2.d_origin_rel
+  && String.equal d1.d_origin_ad d2.d_origin_ad
+  && d1.d_rule_index = d2.d_rule_index
+  && d1.d_pos = d2.d_pos
+  && d1.d_lit_index = d2.d_lit_index
+  && Atom.equal d1.d_prev_sup d2.d_prev_sup
+  && String.equal d1.d_prev_owner d2.d_prev_owner
+  && List.equal literal_equal d1.d_remaining d2.d_remaining
+  && List.equal
+       (fun (x1, y1) (x2, y2) -> Term.equal x1 x2 && Term.equal y1 y2)
+       d1.d_pending d2.d_pending
+  && List.equal String.equal d1.d_bound d2.d_bound
+  && Datom.equal d1.d_head d2.d_head
+
+(** Equality with terms compared physically — with hash-consing this is
+    full structural equality, and it is what the codec-roundtrip checks
+    demand of decode-after-encode. *)
+let rec equal m1 m2 =
+  match (m1, m2) with
+  | Activate r1, Activate r2 -> String.equal r1 r2
+  | Subscribe s1, Subscribe s2 -> Symbol.equal s1 s2
+  | Fact a1, Fact a2 -> Atom.equal a1 a2
+  | Delegate d1, Delegate d2 -> delegation_equal d1 d2
+  | Batch ms1, Batch ms2 -> List.equal equal ms1 ms2
+  | (Activate _ | Subscribe _ | Fact _ | Delegate _ | Batch _), _ -> false

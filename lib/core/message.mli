@@ -27,10 +27,18 @@ type t =
   | Subscribe of Symbol.t
   | Fact of Atom.t
   | Delegate of delegation
+  | Batch of t list
+      (** one envelope: everything a peer flushes to one destination in a
+          single handler activation (batched fragment answers) *)
 
-val size : t -> int
-(** Abstract size (symbol count), for byte accounting. *)
+val equal : t -> t -> bool
+(** Structural equality with terms compared physically (sound and complete
+    under hash-consing) — what decode-after-encode must satisfy. Byte
+    accounting now lives in {!Wire}; the old symbol-count [size] is gone. *)
 
 val describe : t -> string
+
 val is_fact : t -> bool
+(** [Fact], or a nonempty [Batch] of facts. *)
+
 val is_control : t -> bool

@@ -68,6 +68,7 @@ let handle t p ~src msg =
     if Runtime.add_fact st.rt fact then
       forward t ~src:p (Runtime.evaluate ~delta:[ fact ] st.rt)
   | Message.Delegate _ -> invalid_arg "Naive_engine: unexpected delegation"
+  | Message.Batch _ -> invalid_arg "Naive_engine: unexpected envelope"
 
 (** Set up the network for [program]: one simulated peer per dDatalog peer,
     EDB facts preloaded into their owners' stores. *)
@@ -75,7 +76,8 @@ let create ?(seed = 0) ?(policy = Network.Sim.Random_interleaving)
     ?(eval_options = Eval.default_options) (program : Dprogram.t)
     ~(edb : Datom.t list) ~(query : Datom.t) : t =
   let sim =
-    Network.Sim.create ~seed ~policy ~size_of:Message.size ~describe:Message.describe ()
+    Network.Sim.create ~seed ~policy ~size_of:(Wire.message_sizer ())
+      ~describe:Message.describe ()
   in
   let peers =
     List.sort_uniq String.compare

@@ -54,17 +54,25 @@ type peer_state = {
           balance across domains in [diag --stats] *)
 }
 
+(* [program]/[query] are mutable so a warm engine can be recycled for the
+   next session over the same peer set (see {!recycle}) without tearing
+   down the simulator, its registered handlers, or the per-channel wire
+   codec state. *)
 type t = {
-  program : Dprogram.t;
+  mutable program : Dprogram.t;
   sim : Message.t Ds.wrapped Sim.t;
   states : (string, peer_state) Hashtbl.t;
-  query : Datom.t;
-  query_peer : string;
+  mutable query : Datom.t;
+  mutable query_peer : string;
   detector : Message.t Ds.t option;
       (* Dijkstra-Scholten termination detection, when requested *)
   delegations : int Atomic.t;
   subscriptions : int Atomic.t;
   fact_messages : int Atomic.t;
+  fresh : int Atomic.t;
+      (* per-engine rule-freshening suffixes: with a process-global counter
+         the suffix lengths — and hence real wire bytes — would depend on
+         what ran before, breaking same-seed byte determinism *)
 }
 
 let state t p = Hashtbl.find t.states p
@@ -73,6 +81,7 @@ let state t p = Hashtbl.find t.states p
 let delegations_c = Obs.Metrics.counter "qsq.delegations"
 let subscriptions_c = Obs.Metrics.counter "qsq.subscriptions"
 let fact_messages_c = Obs.Metrics.counter "qsq.fact_messages"
+let envelopes_c = Obs.Metrics.counter "qsq.envelopes"
 
 (* All protocol messages go through here: either plain (the simulator's
    quiescence is the fixpoint signal) or tracked by the Dijkstra-Scholten
@@ -82,16 +91,43 @@ let send t ~src ~dst m =
   | None -> Sim.send t.sim ~src ~dst (Ds.Work m)
   | Some det -> Ds.send_work det t.sim ~src ~dst m
 
+(* Ship [facts] to [dst] as one envelope per flush: a single fact travels
+   bare, several are wrapped in a {!Message.Batch}. [fact_messages] keeps
+   counting individual facts — the envelope only changes what crosses the
+   wire (one frame, shared spines) and how the receiver evaluates (one
+   semi-naive pass over the whole delta). *)
+let send_facts t ~src ~dst = function
+  | [] -> ()
+  | facts ->
+    let n = List.length facts in
+    Atomic.fetch_and_add t.fact_messages n |> ignore;
+    Obs.Metrics.incr ~by:n fact_messages_c;
+    (match facts with
+    | [ fact ] -> send t ~src ~dst (Message.Fact fact)
+    | facts ->
+      Obs.Metrics.incr envelopes_c;
+      send t ~src ~dst (Message.Batch (List.map (fun f -> Message.Fact f) facts)))
+
+(* Group a flush's outputs by destination, preserving first-touch order of
+   destinations and the per-destination fact order (determinism: the
+   seeded scheduler sees the same send sequence on every run). *)
 let forward t ~src outputs =
+  let by_dst : (string, Atom.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
   List.iter
     (fun (fact, subs) ->
       List.iter
         (fun dst ->
-          Atomic.incr t.fact_messages;
-          Obs.Metrics.incr fact_messages_c;
-          send t ~src ~dst (Message.Fact fact))
+          match Hashtbl.find_opt by_dst dst with
+          | Some l -> l := fact :: !l
+          | None ->
+            Hashtbl.add by_dst dst (ref [ fact ]);
+            order := dst :: !order)
         subs)
-    outputs
+    outputs;
+  List.iter
+    (fun dst -> send_facts t ~src ~dst (List.rev !(Hashtbl.find by_dst dst)))
+    (List.rev !order)
 
 (* Located relation symbols for the generated predicates: the base name is
    computed on the unmangled relation (matching centralized QSQ), then
@@ -109,12 +145,12 @@ let sup_at ~rel ~ad ~rule_index ~pos ~peer =
 
 let var_atom sym vars = Atom.cmake sym (List.map (fun x -> Term.var x) vars)
 
-(* Atomic so concurrent [demand]s on different domains still draw unique
-   suffixes. The drawn values then depend on the schedule — harmless: all
-   variables of one rule instance share one suffix, derived facts are
-   ground, and attribute (column) order compares same-suffix names, so
-   fact sets are suffix-value-independent. *)
-let fresh_counter = Atomic.make 0
+(* The per-engine [t.fresh] counter is atomic so concurrent [demand]s on
+   different domains still draw unique suffixes. The drawn values then
+   depend on the schedule — harmless: all variables of one rule instance
+   share one suffix, derived facts are ground, and attribute (column)
+   order compares same-suffix names, so fact sets are
+   suffix-value-independent. *)
 
 (* Ensure [p] receives the tuples of [rel_sym] owned by [owner]. *)
 let ensure_subscription t p ~owner ~rel_sym =
@@ -282,7 +318,7 @@ and demand t p ~rel ~ad =
            order of attribute names — and hence the column order of the
            supplementary relations — agrees with the centralized rewriting
            (Theorem 1 is checked as exact fact equality). *)
-        let suffix = Printf.sprintf "~%d" (1 + Atomic.fetch_and_add fresh_counter 1) in
+        let suffix = Printf.sprintf "~%d" (1 + Atomic.fetch_and_add t.fresh 1) in
         let s =
           Subst.of_list
             (List.map (fun x -> (x, Term.var (x ^ suffix))) (Drule.vars r0))
@@ -345,16 +381,24 @@ let rec handle t p ~src msg =
   Obs.Metrics.incr st.steps_c;
   match msg with
   | Message.Subscribe rel ->
-    let snapshot = Runtime.subscribe st.rt rel ~dst:src in
-    List.iter
-      (fun fact ->
-        Atomic.incr t.fact_messages;
-        Obs.Metrics.incr fact_messages_c;
-        send t ~src:p ~dst:src (Message.Fact fact))
-      snapshot
+    (* the current extent ships as one envelope *)
+    send_facts t ~src:p ~dst:src (Runtime.subscribe st.rt rel ~dst:src)
   | Message.Fact fact ->
     if Runtime.add_fact st.rt fact then
       forward t ~src:p (Runtime.evaluate ~delta:[ fact ] st.rt)
+  | Message.Batch ms ->
+    (* absorb the whole envelope, then run one semi-naive pass over the
+       fresh delta — monotone Datalog, so coalescing deltas is sound *)
+    let fresh =
+      List.filter_map
+        (function
+          | Message.Fact fact -> if Runtime.add_fact st.rt fact then Some fact else None
+          | m ->
+            handle t p ~src m;
+            None)
+        ms
+    in
+    if fresh <> [] then forward t ~src:p (Runtime.evaluate ~delta:fresh st.rt)
   | Message.Delegate d ->
     if d.Message.d_remaining = [] then install_answer t p d
     else if not (Hashtbl.mem st.delegations_seen d.Message.d_key) then begin
@@ -393,8 +437,12 @@ let ds_root = "#root"
 
 let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
     ?(eval_options = Eval.default_options) ?(termination = God_view)
-    (program : Dprogram.t) ~(edb : Datom.t list) ~(query : Datom.t) : t =
-  let size_of = function Ds.Work m -> Message.size m | Ds.Ack -> 1 in
+    ?(wire_verify = false) (program : Dprogram.t) ~(edb : Datom.t list)
+    ~(query : Datom.t) : t =
+  (* byte accounting runs every message through the real codec, with one
+     connection per channel; [wire_verify] additionally decodes each
+     message and insists on physical equality *)
+  let size_of = Wire.wrapped_sizer ~verify:wire_verify () in
   let describe = function Ds.Work m -> Message.describe m | Ds.Ack -> "ack" in
   let sim = Sim.create ~seed ~policy ~loss ~size_of ~describe () in
   let peers =
@@ -414,7 +462,7 @@ let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
   let t =
     { program; sim; states; query; query_peer = query.Datom.peer; detector;
       delegations = Atomic.make 0; subscriptions = Atomic.make 0;
-      fact_messages = Atomic.make 0 }
+      fact_messages = Atomic.make 0; fresh = Atomic.make 0 }
   in
   List.iter
     (fun p ->
@@ -470,23 +518,24 @@ type outcome = {
           [None] in god-view mode. *)
 }
 
-let run ?max_steps ?jobs (t : t) ~(query : Datom.t) : outcome =
-  Obs.Trace.with_span "qsq_engine.run" ~attrs:[ ("query", Datom.to_string query) ]
-  @@ fun () ->
+(* Inject the query and begin the distributed rewriting; deliveries are
+   then driven by {!step} (interleaved service sessions) or {!run}. *)
+let start (t : t) =
+  match t.detector with
+  | None -> start_query t
+  | Some det ->
+    (* the diffusing computation starts with the root's query injection *)
+    Ds.start det t.sim ~dst:t.query_peer (Message.Activate t.query.Datom.rel)
+
+let step (t : t) = Sim.step t.sim
+let is_quiescent (t : t) = Sim.is_quiescent t.sim
+
+let finish ?(deliveries = 0) (t : t) : outcome =
+  let query = t.query in
   let p0 = t.query_peer in
   let q_local = Datom.to_local_atom query in
   let ad = Adornment.of_query q_local in
   let st = state t p0 in
-  (match t.detector with
-  | None -> start_query t
-  | Some det ->
-    (* the diffusing computation starts with the root's query injection *)
-    Ds.start det t.sim ~dst:p0 (Message.Activate query.Datom.rel));
-  let deliveries =
-    match jobs with
-    | None -> Network.Sim.run ?max_steps t.sim
-    | Some jobs -> Network.Sim.run_parallel ?max_steps ~jobs t.sim
-  in
   let answer_pattern =
     Atom.cmake (adorned_at ~rel:query.Datom.rel ~ad ~peer:p0) query.Datom.args
   in
@@ -518,6 +567,65 @@ let run ?max_steps ?jobs (t : t) ~(query : Datom.t) : outcome =
     clipped;
     ds_terminated = Option.map Ds.is_terminated t.detector;
   }
+
+let run ?max_steps ?jobs (t : t) ~(query : Datom.t) : outcome =
+  Obs.Trace.with_span "qsq_engine.run" ~attrs:[ ("query", Datom.to_string query) ]
+  @@ fun () ->
+  t.query <- query;
+  t.query_peer <- query.Datom.peer;
+  start t;
+  let deliveries =
+    match jobs with
+    | None -> Network.Sim.run ?max_steps t.sim
+    | Some jobs -> Network.Sim.run_parallel ?max_steps ~jobs t.sim
+  in
+  finish ~deliveries t
+
+(* Point the warm engine at the next session: same peers (the simulator's
+   handlers and per-channel codec state are kept), new program, EDB and
+   query. Peer runtimes are cleared in place — tables stay allocated. *)
+let recycle (t : t) (program : Dprogram.t) ~(edb : Datom.t list) ~(query : Datom.t) =
+  if t.detector <> None then
+    invalid_arg "Qsq_engine.recycle: Dijkstra-Scholten engines are one-shot";
+  if not (Sim.is_quiescent t.sim) then
+    invalid_arg "Qsq_engine.recycle: network not quiescent";
+  let peers =
+    List.sort_uniq String.compare
+      (Dprogram.peers program
+      @ List.map (fun (a : Datom.t) -> a.Datom.peer) edb
+      @ [ query.Datom.peer ])
+  in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem t.states p) then
+        invalid_arg
+          (Printf.sprintf "Qsq_engine.recycle: peer %s not in the warm engine" p))
+    peers;
+  t.program <- program;
+  t.query <- query;
+  t.query_peer <- query.Datom.peer;
+  Atomic.set t.delegations 0;
+  Atomic.set t.subscriptions 0;
+  Atomic.set t.fact_messages 0;
+  Atomic.set t.fresh 0;
+  Hashtbl.iter
+    (fun p st ->
+      Runtime.reset st.rt;
+      Hashtbl.clear st.my_rules;
+      Hashtbl.clear st.demanded;
+      Hashtbl.clear st.delegations_seen;
+      Hashtbl.clear st.subscriptions_sent;
+      List.iter
+        (fun r ->
+          let rel = r.Drule.head.Datom.rel in
+          Hashtbl.replace st.my_rules rel
+            (Option.value ~default:[] (Hashtbl.find_opt st.my_rules rel) @ [ r ]))
+        (Dprogram.rules_at program p))
+    t.states;
+  List.iter
+    (fun (a : Datom.t) ->
+      ignore (Runtime.add_fact (state t a.Datom.peer).rt (Datom.to_atom a)))
+    edb
 
 let solve ?seed ?policy ?loss ?eval_options ?termination ?max_steps ?jobs program
     ~edb ~query =

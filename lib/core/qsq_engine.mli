@@ -28,10 +28,20 @@ val create :
   ?loss:float ->
   ?eval_options:Eval.options ->
   ?termination:termination_mode ->
+  ?wire_verify:bool ->
   Dprogram.t ->
   edb:Datom.t list ->
   query:Datom.t ->
   t
+(** Byte accounting runs every message through the {!Wire} codec with one
+    connection per directed channel (first occurrence of a symbol or term
+    spine costs its definition, later ones a varint id). [wire_verify]
+    additionally decodes each message on the spot and raises
+    {!Wire.Roundtrip_mismatch} unless the result is physically identical —
+    the service keeps this on. Answer facts destined for one peer are
+    flushed as one {!Message.Batch} envelope per handler activation; the
+    receiver coalesces the whole delta into a single semi-naive pass
+    (sound: monotone Datalog, confluent protocol). *)
 
 type outcome = {
   answers : Atom.t list;
@@ -69,6 +79,37 @@ val solve :
   edb:Datom.t list ->
   query:Datom.t ->
   outcome
+
+(** {2 Stepped execution and warm-engine recycling}
+
+    The service layer interleaves many sessions over warm engines: it
+    {!start}s a session, {!step}s its network a quantum at a time in
+    round-robin with other sessions, calls {!finish} at quiescence, and
+    {!recycle}s the engine for the next scenario of the same tenant. *)
+
+val start : t -> unit
+(** Inject the query and begin the distributed rewriting (what {!run}
+    does before driving the network). Call once per session. *)
+
+val step : t -> bool
+(** Deliver one message; [false] at quiescence. *)
+
+val is_quiescent : t -> bool
+
+val finish : ?deliveries:int -> t -> outcome
+(** Collect the outcome of a stepped run at quiescence. [deliveries] is
+    echoed into the outcome (the caller counted its own {!step}s);
+    [net_stats] is cumulative over the engine's lifetime, so per-session
+    byte deltas come from counter differences. *)
+
+val recycle : t -> Dprogram.t -> edb:Datom.t list -> query:Datom.t -> unit
+(** Point a quiescent warm engine at its next session: peer runtimes are
+    reset in place (tables stay allocated, per-channel wire codec state
+    survives, so later sessions' symbols ride the established
+    dictionaries), then the new program's rules and EDB are installed.
+    Every peer of the new scenario must already exist in the engine.
+    @raise Invalid_argument on unknown peers, a non-quiescent network, or
+    a Dijkstra-Scholten engine. *)
 
 val peer_store : t -> string -> Fact_store.t
 

@@ -31,6 +31,18 @@ let create ?(eval_options = Eval.default_options) peer =
     clipped = 0;
   }
 
+(** Forget rules, facts and subscribers but keep every table allocated
+    (the store clears-and-reuses its indexes): the cheap per-session reset
+    behind warm-engine recycling. [eval_options] survive — they belong to
+    the engine, not the session. *)
+let reset t =
+  Fact_store.reset t.store;
+  t.rules <- [];
+  Hashtbl.clear t.installed;
+  Hashtbl.clear t.subscribers;
+  t.derivations <- 0;
+  t.clipped <- 0
+
 (** Install a rule; returns [true] if it was new. *)
 let install t (r : Rule.t) : bool =
   let key = Rule.to_string r in

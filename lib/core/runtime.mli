@@ -17,6 +17,11 @@ type t = {
 
 val create : ?eval_options:Eval.options -> string -> t
 
+val reset : t -> unit
+(** Forget rules, facts and subscribers, keeping tables allocated (via
+    {!Datalog.Fact_store.reset}) — the per-session reset for warm engines.
+    [eval_options] are preserved. *)
+
 val install : t -> Rule.t -> bool
 (** Install a rule; [true] iff new (idempotent otherwise). *)
 

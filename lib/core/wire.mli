@@ -1,0 +1,63 @@
+(** Compact, versioned binary codec for protocol messages and diagnosis
+    configurations.
+
+    A frame is an unsigned LEB128 varint length followed by the body:
+    one version byte, one frame-kind byte (message / configuration set /
+    ack), then the payload. Each connection direction keeps append-only
+    symbol and term tables; the first occurrence of a symbol costs its
+    name and later occurrences a small varint id, and each hash-consed
+    term node is serialized once per connection — shared Skolem spines
+    cross the wire a single time. Decoding goes back through the
+    hash-consing constructors, so decoded terms are {e physically} equal
+    to the encoded ones.
+
+    Counters [wire.bytes_sent], [wire.bytes_recv] and [wire.frames] in
+    the default {!Obs.Metrics} registry account every frame. *)
+
+open Datalog
+
+val version : int
+
+exception Corrupt of string
+(** Raised by decoders on malformed input (truncation, bad tags, version
+    or kind mismatch, out-of-range table ids, trailing bytes). *)
+
+exception Roundtrip_mismatch of string
+(** Raised by verifying sizers when a decoded message is not physically
+    identical to the one encoded. *)
+
+type encoder
+(** Sending half of a connection: symbol/term tables plus scratch buffer.
+    Not thread-safe; the sizers serialize access per channel. *)
+
+type decoder
+(** Receiving half: the id -> symbol/term tables. *)
+
+val encoder : unit -> encoder
+val decoder : unit -> decoder
+
+val encode_message : encoder -> Message.t -> string
+val decode_message : decoder -> string -> Message.t
+
+val encode_wrapped : encoder -> Message.t Network.Termination.wrapped -> string
+val decode_wrapped : decoder -> string -> Message.t Network.Termination.wrapped
+
+val encode_configs : encoder -> Term.t list list -> string
+(** A diagnosis as a set of configurations, each a list of ground terms —
+    the service's report frame (the diagnosis layer converts its
+    [Canon.config] sets to lists and back). *)
+
+val decode_configs : decoder -> string -> Term.t list list
+
+val wrapped_sizer :
+  ?verify:bool -> unit -> src:string -> dst:string -> Message.t Network.Termination.wrapped -> int
+(** A [Sim.size_of] implementation: keeps one (encoder, decoder) pair per
+    directed channel and reports the actual frame length of each message,
+    so byte totals reflect the codec's history-dependent compression
+    (definitions first, references after). With [verify], every message
+    is also decoded through the channel's receiving half and checked
+    physically identical to the original ({!Roundtrip_mismatch}
+    otherwise) — the service runs with this on. Thread-safe. *)
+
+val message_sizer : ?verify:bool -> unit -> src:string -> dst:string -> Message.t -> int
+(** Same for unwrapped messages (the distributed naive engine). *)

@@ -35,7 +35,30 @@ type t = {
   mutable total : int;
 }
 
-let create () = { rels = Hashtbl.create 64; total = 0 }
+(* Live-store population: incremented at [create], decremented by a GC
+   finalizer — "live" meaning reachable, which is exactly the leak signal a
+   long-running service wants to watch across thousands of sessions. *)
+let live_g = Obs.Metrics.gauge "fact_store.live"
+
+let create () =
+  let t = { rels = Hashtbl.create 64; total = 0 } in
+  Obs.Metrics.add_gauge live_g 1;
+  Gc.finalise (fun (_ : t) -> Obs.Metrics.add_gauge live_g (-1)) t;
+  t
+
+(** Clear every relation in place, keeping the relation table, membership
+    tables, and index structures allocated (only their contents are
+    dropped). A recycled store starts its next session with warm
+    capacity instead of re-growing every hash table from scratch. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ rs ->
+      rs.tuples <- [];
+      rs.n <- 0;
+      Tuple_tbl.clear rs.members;
+      List.iter (fun (_, idx) -> Tuple_tbl.clear idx) rs.indexes)
+    t.rels;
+  t.total <- 0
 
 let rel_store t rel =
   match Hashtbl.find_opt t.rels rel with
@@ -189,7 +212,10 @@ let copy t =
         { tuples = rs.tuples; n = rs.n; members = Tuple_tbl.copy rs.members;
           indexes = [] })
     t.rels;
-  { rels; total = t.total }
+  let t' = { rels; total = t.total } in
+  Obs.Metrics.add_gauge live_g 1;
+  Gc.finalise (fun (_ : t) -> Obs.Metrics.add_gauge live_g (-1)) t';
+  t'
 
 (** Facts of [t] as a sorted list of strings; handy in tests for equality
     modulo ordering. *)

@@ -10,6 +10,13 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Drop every fact but keep the relation table, membership tables and
+    compound indexes allocated (cleared, not freed) — a cheap per-session
+    reset for warm engines that serve thousands of scenarios. The gauge
+    [fact_store.live] tracks the population of live stores (decremented by
+    a GC finalizer), so pooling bugs show up as a climbing gauge. *)
+
 val add : t -> Atom.t -> bool
 (** Add a ground fact; [true] iff it was new.
     @raise Invalid_argument on a non-ground atom. *)

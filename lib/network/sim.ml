@@ -64,12 +64,22 @@ type 'msg parallel = {
   book_mu : Mutex.t;  (* guards per_channel, trace and loss_rng *)
 }
 
+(* Per-channel totals. The global mirror counter is cached here so the hot
+   path pays one Hashtbl lookup per send, not one per-name registry probe. *)
+type channel_book = {
+  mutable pc_msgs : int;
+  mutable pc_bytes : int;
+  pc_global : Obs.Metrics.counter;  (* sim.channel_bytes.<src>-><dst> *)
+}
+
 type 'msg t = {
   rng : Random.State.t;
   loss_rng : Random.State.t;
   loss : float;  (* probability that a sent message is silently dropped *)
   policy : policy;
-  size_of : 'msg -> int;  (** abstract message size, for byte accounting *)
+  size_of : src:peer_id -> dst:peer_id -> 'msg -> int;
+      (** on-the-wire size in bytes, from the channel's codec; the default
+          reports 0 (no codec, no bytes) *)
   handlers : (peer_id, 'msg t -> src:peer_id -> 'msg -> unit) Hashtbl.t;
   channels : (peer_id * peer_id, 'msg Queue.t) Hashtbl.t;
   (* channels in creation order, as a growable array: registering the N-th
@@ -84,7 +94,7 @@ type 'msg t = {
   c_delivered : Obs.Metrics.counter;
   c_dropped : Obs.Metrics.counter;
   c_bytes : Obs.Metrics.counter;
-  per_channel : (peer_id * peer_id, int) Hashtbl.t;
+  per_channel : (peer_id * peer_id, channel_book) Hashtbl.t;
   mutable trace : (peer_id * peer_id * string) list;  (** reverse delivery log *)
   mutable tracing : bool;
   describe : 'msg -> string;
@@ -93,7 +103,7 @@ type 'msg t = {
 }
 
 let create ?(seed = 0) ?(policy = Random_interleaving) ?(loss = 0.0)
-    ?(size_of = fun _ -> 1) ?(describe = fun _ -> "<msg>") () =
+    ?(size_of = fun ~src:_ ~dst:_ _ -> 0) ?(describe = fun _ -> "<msg>") () =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Sim.create: loss must be in [0, 1)";
   let metrics = Obs.Metrics.create_registry () in
   {
@@ -156,9 +166,22 @@ let channel t key =
 let tick local global = Obs.Metrics.incr local; Obs.Metrics.incr global
 let tick_by n local global = Obs.Metrics.incr ~by:n local; Obs.Metrics.incr ~by:n global
 
-let bump_per_channel t key =
-  Hashtbl.replace t.per_channel key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_channel key))
+let bump_per_channel t ((src, dst) as key) bytes =
+  let book =
+    match Hashtbl.find_opt t.per_channel key with
+    | Some b -> b
+    | None ->
+      let b =
+        { pc_msgs = 0; pc_bytes = 0;
+          pc_global =
+            Obs.Metrics.counter (Printf.sprintf "sim.channel_bytes.%s->%s" src dst) }
+      in
+      Hashtbl.add t.per_channel key b;
+      b
+  in
+  book.pc_msgs <- book.pc_msgs + 1;
+  book.pc_bytes <- book.pc_bytes + bytes;
+  Obs.Metrics.incr ~by:bytes book.pc_global
 
 (* Parallel route: the message goes straight into the destination peer's
    owner-domain mailbox. in_flight is incremented before the enqueue (see
@@ -182,6 +205,10 @@ let send_parallel t p ~src ~dst msg =
     tick t.c_sent g_sent
   end
   else begin
+    (* The sizer may thread per-channel codec state; calls for one channel
+       all come from the sending peer's owner domain, so per-channel call
+       order is still the send order. *)
+    let sz = t.size_of ~src ~dst msg in
     let mb = p.mailboxes.(Hashtbl.find p.owner dst) in
     Atomic.incr p.in_flight;
     Mutex.lock mb.mb_mu;
@@ -190,9 +217,9 @@ let send_parallel t p ~src ~dst msg =
     Condition.signal mb.mb_cond;
     Mutex.unlock mb.mb_mu;
     tick t.c_sent g_sent;
-    tick_by (t.size_of msg) t.c_bytes g_bytes;
+    tick_by sz t.c_bytes g_bytes;
     Mutex.lock p.book_mu;
-    bump_per_channel t (src, dst);
+    bump_per_channel t (src, dst) sz;
     Mutex.unlock p.book_mu
   end
 
@@ -210,12 +237,13 @@ let send t ~src ~dst msg =
     end
     else begin
       let key = (src, dst) in
+      let sz = t.size_of ~src ~dst msg in
       Queue.add msg (channel t key);
       Queue.add (t.seq, key) t.pending;
       t.seq <- t.seq + 1;
       tick t.c_sent g_sent;
-      tick_by (t.size_of msg) t.c_bytes g_bytes;
-      bump_per_channel t key
+      tick_by sz t.c_bytes g_bytes;
+      bump_per_channel t key sz
     end
 
 let nonempty_channels t =
@@ -400,12 +428,15 @@ let run_parallel ?(max_steps = 10_000_000) ?jobs t =
   (match Atomic.get p.par_error with Some e -> raise e | None -> ());
   Atomic.get p.par_deliveries
 
+type channel_stats = { msgs : int; bytes : int }
+
 type stats = {
   sent : int;
   delivered : int;
   dropped : int;  (** lost to failure injection *)
   bytes : int;
-  channels : ((peer_id * peer_id) * int) list;  (** messages per channel *)
+  channels : ((peer_id * peer_id) * channel_stats) list;
+      (** per-channel messages and codec bytes *)
 }
 
 (* The record is read off the instance registry — the registry is the
@@ -416,7 +447,11 @@ let stats (t : _ t) =
     delivered = Obs.Metrics.value t.c_delivered;
     dropped = Obs.Metrics.value t.c_dropped;
     bytes = Obs.Metrics.value t.c_bytes;
-    channels = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_channel []);
+    channels =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k b acc -> (k, { msgs = b.pc_msgs; bytes = b.pc_bytes }) :: acc)
+           t.per_channel []);
   }
 
 let delivery_trace t = List.rev t.trace

@@ -18,14 +18,19 @@ val create :
   ?seed:int ->
   ?policy:policy ->
   ?loss:float ->
-  ?size_of:('msg -> int) ->
+  ?size_of:(src:peer_id -> dst:peer_id -> 'msg -> int) ->
   ?describe:('msg -> string) ->
   unit ->
   'msg t
-(** [size_of] feeds byte accounting; [describe] feeds the delivery trace.
-    [loss] in [0, 1) injects failures: each sent message is silently
-    dropped with that probability (the paper assumes reliable channels —
-    the injection shows the assumption is load-bearing).
+(** [size_of] reports the on-the-wire size of a message in bytes and feeds
+    all byte accounting; it receives the channel endpoints so a caller can
+    thread per-channel codec state (e.g. a symbol table that makes the
+    first occurrence of a symbol cost its name and later ones a small id).
+    The default reports 0: without a codec there are no bytes, only
+    message counts. [describe] feeds the delivery trace. [loss] in [0, 1)
+    injects failures: each sent message is silently dropped with that
+    probability (the paper assumes reliable channels — the injection shows
+    the assumption is load-bearing).
     @raise Invalid_argument on a loss outside [0, 1). *)
 
 val set_tracing : 'msg t -> bool -> unit
@@ -69,12 +74,15 @@ val run_parallel : ?max_steps:int -> ?jobs:int -> 'msg t -> int
     @raise Budget_exhausted after [max_steps] total deliveries.
     @raise Invalid_argument when [jobs < 1]. *)
 
+type channel_stats = { msgs : int; bytes : int }
+
 type stats = {
   sent : int;
   delivered : int;
   dropped : int;  (** lost to failure injection *)
-  bytes : int;
-  channels : ((peer_id * peer_id) * int) list;  (** messages per channel *)
+  bytes : int;  (** sum of [size_of] over sent messages — real codec bytes *)
+  channels : ((peer_id * peer_id) * channel_stats) list;
+      (** per-channel message and byte totals, sorted by endpoint pair *)
 }
 
 val stats : 'msg t -> stats
@@ -83,7 +91,10 @@ val stats : 'msg t -> stats
 val metrics : 'msg t -> Obs.Metrics.registry
 (** Per-instance accounting: counters [sim.sent], [sim.delivered],
     [sim.dropped], [sim.bytes]. Every update is also mirrored into the
-    process-wide {!Obs.Metrics.default} registry under the same names. *)
+    process-wide {!Obs.Metrics.default} registry under the same names;
+    per-channel byte totals are additionally mirrored as
+    [sim.channel_bytes.<src>-><dst>] counters, so [--stats=json] can
+    report the byte matrix without holding the instance. *)
 
 val delivery_trace : 'msg t -> (peer_id * peer_id * string) list
 (** In delivery order; empty unless tracing was enabled. *)

@@ -109,6 +109,7 @@ let value (c : counter) =
 
 let set (g : gauge) v = Atomic.set g.g v
 let gauge_value (g : gauge) = Atomic.get g.g
+let add_gauge (g : gauge) d = ignore (Atomic.fetch_and_add g.g d)
 
 (* Lock-free high-water mark: retry the CAS until either we published v or
    somebody else published something at least as large. *)

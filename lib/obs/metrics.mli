@@ -31,6 +31,11 @@ val value : counter -> int
 val set : gauge -> int -> unit
 val gauge_value : gauge -> int
 
+val add_gauge : gauge -> int -> unit
+(** Atomically add a (possibly negative) delta — for gauges tracking a
+    population (live fact stores, active sessions) rather than a level
+    sampled from elsewhere. *)
+
 val set_max : gauge -> int -> unit
 (** Raise the gauge to [v] if [v] exceeds its current value (atomic
     high-water mark); no-op otherwise. Used for e.g. peak mailbox depth. *)

@@ -1,0 +1,297 @@
+(* Multi-tenant diagnosis coordinator; see the .mli for the model.
+
+   A tenant caches everything derivable from its net once — the binarized
+   net, the unfolding rules, the [petriNet] base facts, the peer directory —
+   so a session only pays for its own supervisor rules. Each tenant owns a
+   pool of warm engines; a session checks one out (recycling its runtimes in
+   place), streams alarms, and is stepped a quantum of deliveries at a time
+   in round-robin with every other running session. All engine traffic runs
+   through the {!Dqsq.Wire} codec with verification on, and the finished
+   report itself crosses a codec connection before rendering. *)
+
+open Datalog
+open Dqsq
+open Diagnosis
+
+let started_c = Obs.Metrics.counter "service.sessions_started"
+let completed_c = Obs.Metrics.counter "service.sessions_completed"
+let active_g = Obs.Metrics.gauge "service.active_sessions"
+let pooled_g = Obs.Metrics.gauge "service.pooled_engines"
+let latency_h = Obs.Metrics.histogram "service.session_latency_us"
+
+type tenant = {
+  t_name : string;
+  net : Petri.Net.t;  (* binarized *)
+  supervisor : string;
+  placement : string list;  (* shard directory: net peers + the supervisor *)
+  unfolding : Dprogram.t;
+  net_facts : Datom.t list;
+  mutable pool : Qsq_engine.t list;  (* warm, quiescent engines *)
+}
+
+type report = {
+  session : int;
+  tenant : string;
+  explanations : int;
+  body : string;
+  deliveries : int;
+  wire_bytes : int;
+  latency_s : float;
+}
+
+type running = {
+  engine : Qsq_engine.t;
+  started_at : float;
+  bytes0 : int;  (* engine-registry sim.bytes at session start *)
+  mutable deliveries : int;
+}
+
+type phase = Open | Running of running | Done of report
+
+type session = {
+  id : int;
+  s_tenant : tenant;
+  mutable alarms_rev : (string * string) list;
+  mutable phase : phase;
+}
+
+type t = {
+  quantum : int;
+  tenants : (string, tenant) Hashtbl.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_id : int;
+  mutable started : int;
+  mutable completed : int;
+}
+
+type stats = {
+  tenants_count : int;
+  active : int;
+  running : int;
+  pooled : int;
+  started : int;
+  completed : int;
+}
+
+let create ?(quantum = 16) () =
+  if quantum < 1 then invalid_arg "Coordinator.create: quantum must be >= 1";
+  {
+    quantum;
+    tenants = Hashtbl.create 8;
+    sessions = Hashtbl.create 32;
+    next_id = 1;
+    started = 0;
+    completed = 0;
+  }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+let errorf fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let tenant t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> Ok tn
+  | None -> errorf "unknown tenant %s" name
+
+let session t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some s -> Ok s
+  | None -> errorf "unknown session %d" sid
+
+let add_tenant t ~name net =
+  if Hashtbl.mem t.tenants name then errorf "tenant %s already exists" name
+  else
+    let net = if Petri.Net.is_binary net then net else Petri.Net.binarize net in
+    let supervisor = "supervisor" in
+    if List.mem supervisor (Petri.Net.peers net) then
+      errorf "tenant %s: a net peer is named %S" name supervisor
+    else begin
+      let tn =
+        {
+          t_name = name;
+          net;
+          supervisor;
+          placement = Petri.Net.peers net @ [ supervisor ];
+          unfolding = Encode.unfolding_program net;
+          net_facts = Encode.petri_net_facts net;
+          pool = [];
+        }
+      in
+      Hashtbl.add t.tenants name tn;
+      Ok tn.placement
+    end
+
+let tenant_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.tenants [] |> List.sort compare
+
+let open_session t ~tenant:name =
+  let* tn = tenant t name in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.add t.sessions id { id; s_tenant = tn; alarms_rev = []; phase = Open };
+  Obs.Metrics.add_gauge active_g 1;
+  Ok id
+
+let add_alarm t sid ~symbol ~peer =
+  let* s = session t sid in
+  match s.phase with
+  | Open ->
+    if List.mem peer (Petri.Net.peers s.s_tenant.net) then begin
+      s.alarms_rev <- (symbol, peer) :: s.alarms_rev;
+      Ok ()
+    end
+    else errorf "session %d: tenant %s has no peer %s" sid s.s_tenant.t_name peer
+  | Running _ | Done _ -> errorf "session %d already started" sid
+
+let engine_bytes engine =
+  Obs.Metrics.counter_value ~registry:(Qsq_engine.metrics engine) "sim.bytes"
+
+(* Mirror of [Diagnoser.prepare], with the net-derived parts served from
+   the tenant cache: only the supervisor side is built per session. *)
+let prepare_session tn alarms =
+  let sup =
+    Supervisor.build ~supervisor:tn.supervisor
+      ~place_peers:(Petri.Net.peers tn.net) alarms
+  in
+  ( Dprogram.append tn.unfolding sup.Supervisor.program,
+    tn.net_facts @ sup.Supervisor.facts,
+    sup.Supervisor.query )
+
+let start (t : t) sid =
+  let* s = session t sid in
+  match s.phase with
+  | Running _ | Done _ -> errorf "session %d already started" sid
+  | Open ->
+    (match
+       let tn = s.s_tenant in
+       let alarms = Petri.Alarm.make (List.rev s.alarms_rev) in
+       let program, edb, query = prepare_session tn alarms in
+       let engine =
+         match tn.pool with
+         | e :: rest ->
+           tn.pool <- rest;
+           Obs.Metrics.add_gauge pooled_g (-1);
+           Qsq_engine.recycle e program ~edb ~query;
+           e
+         | [] -> Qsq_engine.create ~seed:s.id ~wire_verify:true program ~edb ~query
+       in
+       Qsq_engine.start engine;
+       s.phase <-
+         Running
+           {
+             engine;
+             started_at = Obs.Clock.now_s ();
+             bytes0 = engine_bytes engine;
+             deliveries = 0;
+           };
+       t.started <- t.started + 1;
+       Obs.Metrics.incr started_c
+     with
+    | () -> Ok ()
+    | exception Invalid_argument m -> errorf "session %d: %s" sid m)
+
+(* At quiescence: collect the answers, push the diagnosis through a codec
+   connection (the report frame the client would receive), and render. The
+   decoded terms are physically the derived ones, so the body is
+   byte-identical to a direct in-memory [Report.to_string]. *)
+let finalize (t : t) (s : session) (r : running) =
+  let out = Qsq_engine.finish ~deliveries:r.deliveries r.engine in
+  let diagnosis = Supervisor.diagnosis_of_answers out.Qsq_engine.answers in
+  let frame =
+    Wire.encode_configs (Wire.encoder ()) (List.map Term.Set.elements diagnosis)
+  in
+  let configs = Wire.decode_configs (Wire.decoder ()) frame in
+  let diagnosis = List.map Term.Set.of_list configs in
+  let body = Report.to_string s.s_tenant.net diagnosis in
+  let latency_s = Obs.Clock.now_s () -. r.started_at in
+  let wire_bytes = engine_bytes r.engine - r.bytes0 + String.length frame in
+  Obs.Metrics.observe latency_h (latency_s *. 1e6);
+  s.s_tenant.pool <- r.engine :: s.s_tenant.pool;
+  Obs.Metrics.add_gauge pooled_g 1;
+  t.completed <- t.completed + 1;
+  Obs.Metrics.incr completed_c;
+  s.phase <-
+    Done
+      {
+        session = s.id;
+        tenant = s.s_tenant.t_name;
+        explanations = List.length diagnosis;
+        body;
+        deliveries = r.deliveries;
+        wire_bytes;
+        latency_s;
+      }
+
+let step_session t (s : session) =
+  match s.phase with
+  | Open | Done _ -> ()
+  | Running r ->
+    let budget = ref t.quantum in
+    while !budget > 0 && Qsq_engine.step r.engine do
+      r.deliveries <- r.deliveries + 1;
+      decr budget
+    done;
+    if Qsq_engine.is_quiescent r.engine then finalize t s r
+
+let running_sessions t =
+  Hashtbl.fold
+    (fun id s acc -> match s.phase with Running _ -> (id, s) :: acc | _ -> acc)
+    t.sessions []
+  |> List.sort compare
+
+let step_round t =
+  match running_sessions t with
+  | [] -> false
+  | rs ->
+    List.iter (fun (_, s) -> step_session t s) rs;
+    true
+
+let is_done t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some { phase = Done _; _ } -> true
+  | _ -> false
+
+let drive ?only t =
+  match only with
+  | None ->
+    while step_round t do () done;
+    Ok ()
+  | Some sid ->
+    let* s = session t sid in
+    (match s.phase with
+    | Open -> errorf "session %d not started" sid
+    | Done _ -> Ok ()
+    | Running _ ->
+      while not (is_done t sid) && step_round t do () done;
+      if is_done t sid then Ok ()
+      else errorf "session %d stalled" sid)
+
+let report t sid =
+  let* s = session t sid in
+  match s.phase with
+  | Done r -> Ok r
+  | Open -> errorf "session %d not started" sid
+  | Running _ -> errorf "session %d still running" sid
+
+let close t sid =
+  let* s = session t sid in
+  match s.phase with
+  | Running _ -> errorf "session %d still running" sid
+  | Open | Done _ ->
+    Hashtbl.remove t.sessions sid;
+    Obs.Metrics.add_gauge active_g (-1);
+    Ok ()
+
+let stats (t : t) =
+  let active = Hashtbl.length t.sessions in
+  let running = List.length (running_sessions t) in
+  let pooled =
+    Hashtbl.fold (fun _ tn acc -> acc + List.length tn.pool) t.tenants 0
+  in
+  {
+    tenants_count = Hashtbl.length t.tenants;
+    active;
+    running;
+    pooled;
+    started = t.started;
+    completed = t.completed;
+  }

@@ -1,0 +1,80 @@
+(** Multi-tenant coordinator for the diagnosis service.
+
+    Tenants register a net once; the coordinator caches the binarized net,
+    its unfolding rules, its [petriNet] base facts and the peer placement
+    directory (net peers + the supervisor shard). A session belongs to one
+    tenant: it is opened, receives a stream of alarms, is started — checking
+    a warm engine out of the tenant's pool ({!Dqsq.Qsq_engine.recycle}) or
+    creating one with the wire codec in verifying mode — and then advances a
+    quantum of message deliveries at a time, round-robin with every other
+    running session, until quiescent. Delegations route between peer shards
+    exactly as dQSQ prescribes (by the located atom's peer); answer facts
+    batch into one envelope per destination.
+
+    Tenant isolation is structural: every tenant's sessions run on engines
+    whose fact stores only ever held that tenant's relations, and recycling
+    resets the stores in place ({!Datalog.Fact_store.reset}) without sharing
+    them across tenants.
+
+    Metrics: counters [service.sessions_started] /
+    [service.sessions_completed], gauges [service.active_sessions] /
+    [service.pooled_engines], histogram [service.session_latency_us]. *)
+
+type t
+
+type report = {
+  session : int;
+  tenant : string;
+  explanations : int;
+  body : string;
+      (** the rendered {!Diagnosis.Report}, decoded from the codec's
+          configuration-set frame — byte-identical to the in-memory path *)
+  deliveries : int;  (** messages delivered for this session *)
+  wire_bytes : int;  (** codec bytes: session traffic + the report frame *)
+  latency_s : float;  (** open-to-report wall time under interleaving *)
+}
+
+type stats = {
+  tenants_count : int;
+  active : int;  (** open, running or unfetched-done sessions *)
+  running : int;
+  pooled : int;  (** warm engines parked across all tenants *)
+  started : int;
+  completed : int;
+}
+
+val create : ?quantum:int -> unit -> t
+(** [quantum] (default 16) is the number of deliveries one session gets
+    per round-robin turn. *)
+
+val add_tenant : t -> name:string -> Petri.Net.t -> (string list, string) result
+(** Register a tenant; the net is binarized if needed. Returns the peer
+    placement (net peers + supervisor).
+    Fails on duplicate names or a peer named ["supervisor"]. *)
+
+val tenant_names : t -> string list
+
+val open_session : t -> tenant:string -> (int, string) result
+val add_alarm : t -> int -> symbol:string -> peer:string -> (unit, string) result
+
+val start : t -> int -> (unit, string) result
+(** Build the session's program (cached unfolding + fresh supervisor
+    rules), seed a warm or new engine, and inject the query. *)
+
+val step_round : t -> bool
+(** Give every running session one quantum of deliveries, finalizing the
+    ones that quiesce; [false] when no session was running. *)
+
+val is_done : t -> int -> bool
+
+val drive : ?only:int -> t -> (unit, string) result
+(** Round-robin [step_round] until no session is running — or, with
+    [only], until that session is done (other running sessions still
+    advance: the interleaving is real). *)
+
+val report : t -> int -> (report, string) result
+val close : t -> int -> (unit, string) result
+(** Forget a done (or never-started) session; its engine was already
+    returned to the tenant pool at finalization. *)
+
+val stats : t -> stats

@@ -1,0 +1,147 @@
+(* The `diag serve` front end: a line-oriented request/response protocol
+   over stdin/stdout or a Unix-domain socket; see the .mli for the
+   grammar. One coordinator serves every connection, so tenants and warm
+   engine pools persist across clients. *)
+
+let respond oc fmt =
+  Printf.ksprintf
+    (fun s ->
+      output_string oc s;
+      output_char oc '\n';
+      flush oc)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_net path =
+  match Petri.Parse.parse (read_file path) with
+  | f -> Ok f.Petri.Parse.net
+  | exception Petri.Parse.Parse_error m -> Error (Printf.sprintf "%s: %s" path m)
+  | exception Sys_error m -> Error m
+
+let int_arg s = int_of_string_opt s |> Option.to_result ~none:(s ^ " is not a session id")
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+(* [run] drives the target session to quiescence while still advancing
+   every other running session: the client blocks, the coordinator does
+   not. *)
+let run_session coord sid =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* () =
+    if Coordinator.is_done coord sid then Ok () else Coordinator.start coord sid
+  in
+  let* () = Coordinator.drive ~only:sid coord in
+  Coordinator.report coord sid
+
+type outcome = Continue | Quit
+
+let handle coord oc line =
+  let ( let* ) r f = match r with Ok v -> f v | Error m -> Error m in
+  let reply = function
+    | Ok () -> ()
+    | Error m -> respond oc "err %s" m
+  in
+  match words line with
+  | [] -> Continue
+  | cmd :: _ when String.length cmd > 0 && cmd.[0] = '#' -> Continue
+  | [ "quit" ] ->
+    respond oc "ok bye";
+    Quit
+  | [ "tenant"; name; file ] ->
+    reply
+      (let* net = load_net file in
+       let* placement = Coordinator.add_tenant coord ~name net in
+       respond oc "ok tenant %s peers %s" name (String.concat "," placement);
+       Ok ());
+    Continue
+  | [ "open"; tenant ] ->
+    reply
+      (let* sid = Coordinator.open_session coord ~tenant in
+       respond oc "ok session %d" sid;
+       Ok ());
+    Continue
+  | [ "alarm"; sid; symbol; peer ] ->
+    reply
+      (let* sid = int_arg sid in
+       let* () = Coordinator.add_alarm coord sid ~symbol ~peer in
+       respond oc "ok";
+       Ok ());
+    Continue
+  | [ "run"; sid ] ->
+    reply
+      (let* sid = int_arg sid in
+       let* r = run_session coord sid in
+       respond oc "ok done %d explanations %d deliveries %d wire_bytes %d" sid
+         r.Coordinator.explanations r.Coordinator.deliveries r.Coordinator.wire_bytes;
+       Ok ());
+    Continue
+  | [ "report"; sid ] ->
+    reply
+      (let* sid = int_arg sid in
+       let* r = Coordinator.report coord sid in
+       respond oc "ok report %d" sid;
+       let lines =
+         match List.rev (String.split_on_char '\n' r.Coordinator.body) with
+         | "" :: rest -> List.rev rest
+         | _ -> String.split_on_char '\n' r.Coordinator.body
+       in
+       List.iter (respond oc "  %s") lines;
+       respond oc "end";
+       Ok ());
+    Continue
+  | [ "close"; sid ] ->
+    reply
+      (let* sid = int_arg sid in
+       let* () = Coordinator.close coord sid in
+       respond oc "ok closed %d" sid;
+       Ok ());
+    Continue
+  | [ "stats" ] ->
+    let s = Coordinator.stats coord in
+    respond oc "ok stats tenants=%d active=%d running=%d pooled=%d started=%d completed=%d"
+      s.Coordinator.tenants_count s.Coordinator.active s.Coordinator.running
+      s.Coordinator.pooled s.Coordinator.started s.Coordinator.completed;
+    Continue
+  | cmd :: _ ->
+    respond oc "err unknown command %s" cmd;
+    Continue
+
+let session_loop coord ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (match handle coord oc line with Continue -> loop () | Quit -> ())
+  in
+  loop ()
+
+let stdio coord = session_loop coord stdin stdout
+
+let socket coord ~path ~once =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let serve_one () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> session_loop coord ic oc)
+      in
+      if once then serve_one ()
+      else
+        while true do
+          serve_one ()
+        done)

@@ -1,0 +1,26 @@
+(** The [diag serve] protocol: line-oriented requests over stdin/stdout or
+    a Unix-domain socket, one {!Coordinator} shared by every connection.
+
+    Requests (one per line, space-separated; [#] starts a comment):
+    {v
+      tenant NAME NETFILE      register a tenant from a Petri.Parse file
+      open TENANT              -> ok session SID
+      alarm SID SYMBOL PEER    append one observed alarm
+      run SID                  start + drive to quiescence -> ok done ...
+      report SID               -> ok report SID, indented body, end
+      close SID                forget a finished session
+      stats                    -> ok stats tenants=.. active=.. ...
+      quit                     -> ok bye (socket clients disconnect)
+    v}
+    Every response is one [ok ...] or [err ...] line, except [report],
+    whose body lines are indented by two spaces and terminated by [end].
+    While one client blocks in [run], other running sessions keep
+    advancing — the coordinator round-robins them. *)
+
+val stdio : Coordinator.t -> unit
+(** Serve stdin to EOF (or [quit]). *)
+
+val socket : Coordinator.t -> path:string -> once:bool -> unit
+(** Listen on a Unix-domain socket at [path]; serve connections
+    sequentially — forever, or exactly one with [once]. The socket file is
+    unlinked on exit. *)

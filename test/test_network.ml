@@ -59,7 +59,7 @@ let test_handlers_can_send () =
   Alcotest.(check bool) "quiescent" true (Sim.is_quiescent sim)
 
 let test_stats () =
-  let sim = Sim.create ~seed:1 ~size_of:(fun (Ping i | Token i) -> i) () in
+  let sim = Sim.create ~seed:1 ~size_of:(fun ~src:_ ~dst:_ (Ping i | Token i) -> i) () in
   Sim.add_peer sim "x" (fun _ ~src:_ _ -> ());
   Sim.send sim ~src:"e" ~dst:"x" (Ping 5);
   Sim.send sim ~src:"e" ~dst:"x" (Ping 7);
@@ -68,7 +68,11 @@ let test_stats () =
   Alcotest.(check int) "sent" 2 s.Sim.sent;
   Alcotest.(check int) "delivered" 2 s.Sim.delivered;
   Alcotest.(check int) "bytes" 12 s.Sim.bytes;
-  Alcotest.(check int) "one channel" 1 (List.length s.Sim.channels)
+  match s.Sim.channels with
+  | [ (("e", "x"), ch) ] ->
+    Alcotest.(check int) "channel msgs" 2 ch.Sim.msgs;
+    Alcotest.(check int) "channel bytes" 12 ch.Sim.bytes
+  | _ -> Alcotest.fail "expected exactly the e->x channel"
 
 let test_budget () =
   (* two peers ping-pong forever; the step budget stops the run *)

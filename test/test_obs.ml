@@ -164,7 +164,7 @@ let test_distributed_registers () =
 (* ---------------- wiring: Sim.stats is the registry view ------------- *)
 
 let test_sim_stats_registry_view () =
-  let sim = Network.Sim.create ~seed:9 ~size_of:String.length () in
+  let sim = Network.Sim.create ~seed:9 ~size_of:(fun ~src:_ ~dst:_ s -> String.length s) () in
   Network.Sim.add_peer sim "a" (fun _ ~src:_ _ -> ());
   Network.Sim.add_peer sim "b" (fun _ ~src:_ _ -> ());
   for i = 1 to 10 do

@@ -1,0 +1,127 @@
+(* Tests for lib/service: multi-tenant isolation, warm-engine recycling,
+   and the coordinator session lifecycle. *)
+
+open Service
+
+let running_net () = Petri.Examples.running_example ()
+
+(* A deliberately clashing tenant: the same peer ids (p1, p2), place ids,
+   transition ids, and alarm symbols as the running example — but different
+   behavior, so any state bleeding between tenant stores would change a
+   report. *)
+let clashing_net () =
+  Petri.Net.make
+    ~places:
+      [ Petri.Net.mk_place ~peer:"p1" "1";
+        Petri.Net.mk_place ~peer:"p1" "2";
+        Petri.Net.mk_place ~peer:"p2" "4" ]
+    ~transitions:
+      [ Petri.Net.mk_transition ~peer:"p1" ~alarm:"b" ~pre:[ "1" ] ~post:[ "2" ] "i";
+        Petri.Net.mk_transition ~peer:"p1" ~alarm:"c" ~pre:[ "2" ] ~post:[] "iii";
+        Petri.Net.mk_transition ~peer:"p2" ~alarm:"a" ~pre:[ "4" ] ~post:[] "ii" ]
+    ~marking:[ "1"; "4" ]
+
+let ok = function Ok v -> v | Error m -> Alcotest.fail m
+let seq = [ ("b", "p1"); ("a", "p2"); ("c", "p1") ]
+
+let start_one coord tenant alarms =
+  let sid = ok (Coordinator.open_session coord ~tenant) in
+  List.iter
+    (fun (symbol, peer) -> ok (Coordinator.add_alarm coord sid ~symbol ~peer))
+    alarms;
+  ok (Coordinator.start coord sid);
+  sid
+
+let finish_one coord sid =
+  ok (Coordinator.drive ~only:sid coord);
+  ok (Coordinator.report coord sid)
+
+(* a tenant alone on a fresh coordinator: the isolation baseline *)
+let solo net alarms =
+  let coord = Coordinator.create ~quantum:4 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"t" net));
+  (finish_one coord (start_one coord "t" alarms)).Coordinator.body
+
+let test_tenant_isolation () =
+  let solo_a = solo (running_net ()) seq in
+  let solo_b = solo (clashing_net ()) seq in
+  Alcotest.(check bool) "the two tenants really differ" false (solo_a = solo_b);
+  let coord = Coordinator.create ~quantum:3 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"a" (running_net ())));
+  ignore (ok (Coordinator.add_tenant coord ~name:"b" (clashing_net ())));
+  (* both sessions genuinely in flight before either finishes *)
+  let sa = start_one coord "a" seq in
+  let sb = start_one coord "b" seq in
+  Alcotest.(check int) "two sessions running" 2 (Coordinator.stats coord).Coordinator.running;
+  ok (Coordinator.drive coord);
+  let ra = ok (Coordinator.report coord sa) in
+  let rb = ok (Coordinator.report coord sb) in
+  Alcotest.(check string) "tenant a report unchanged by b" solo_a ra.Coordinator.body;
+  Alcotest.(check string) "tenant b report unchanged by a" solo_b rb.Coordinator.body;
+  Alcotest.(check bool) "bytes on the wire" true (ra.Coordinator.wire_bytes > 0);
+  Alcotest.(check bool) "deliveries counted" true (ra.Coordinator.deliveries > 0)
+
+let test_warm_recycling () =
+  (* the second interleaved round reuses pooled engines (reset stores,
+     warm codec dictionaries) and must reproduce the same reports *)
+  let coord = Coordinator.create ~quantum:5 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"a" (running_net ())));
+  ignore (ok (Coordinator.add_tenant coord ~name:"b" (clashing_net ())));
+  let round () =
+    let sa = start_one coord "a" seq in
+    let sb = start_one coord "b" seq in
+    ok (Coordinator.drive coord);
+    let ra = ok (Coordinator.report coord sa) in
+    let rb = ok (Coordinator.report coord sb) in
+    ok (Coordinator.close coord sa);
+    ok (Coordinator.close coord sb);
+    (ra, rb)
+  in
+  let ra1, rb1 = round () in
+  Alcotest.(check int) "two engines pooled" 2 (Coordinator.stats coord).Coordinator.pooled;
+  let ra2, rb2 = round () in
+  Alcotest.(check string) "a: recycled engine, same report" ra1.Coordinator.body
+    ra2.Coordinator.body;
+  Alcotest.(check string) "b: recycled engine, same report" rb1.Coordinator.body
+    rb2.Coordinator.body;
+  Alcotest.(check bool) "warm codec: second session cheaper on the wire" true
+    (ra2.Coordinator.wire_bytes < ra1.Coordinator.wire_bytes);
+  Alcotest.(check int) "still two engines pooled" 2
+    (Coordinator.stats coord).Coordinator.pooled;
+  let s = Coordinator.stats coord in
+  Alcotest.(check int) "four sessions started" 4 s.Coordinator.started;
+  Alcotest.(check int) "four sessions completed" 4 s.Coordinator.completed
+
+let test_lifecycle_errors () =
+  let coord = Coordinator.create () in
+  (match Coordinator.open_session coord ~tenant:"ghost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tenant accepted");
+  ignore (ok (Coordinator.add_tenant coord ~name:"t" (running_net ())));
+  (match Coordinator.add_tenant coord ~name:"t" (running_net ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate tenant accepted");
+  let sid = ok (Coordinator.open_session coord ~tenant:"t") in
+  (match Coordinator.add_alarm coord sid ~symbol:"b" ~peer:"nope" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "alarm on an unknown peer accepted");
+  (match Coordinator.report coord sid with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "report before start accepted");
+  ok (Coordinator.add_alarm coord sid ~symbol:"b" ~peer:"p1");
+  ok (Coordinator.start coord sid);
+  (match Coordinator.start coord sid with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double start accepted");
+  ignore (finish_one coord sid);
+  ok (Coordinator.close coord sid);
+  match Coordinator.report coord sid with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "report after close accepted"
+
+let () =
+  Alcotest.run "service"
+    [ ( "coordinator",
+        [ Alcotest.test_case "tenant isolation" `Quick test_tenant_isolation;
+          Alcotest.test_case "warm-engine recycling" `Quick test_warm_recycling;
+          Alcotest.test_case "lifecycle errors" `Quick test_lifecycle_errors ] ) ]

@@ -283,12 +283,28 @@ let test_drule_peers () =
   Alcotest.(check (list string)) "body peers" [ "r"; "s"; "t" ] (Drule.body_peers r);
   Alcotest.(check bool) "not local" false (Drule.is_local r)
 
-let test_message_size () =
+let test_message_wire () =
   let fact = Message.Fact (Atom.make "r" [ Term.app "f" [ Term.const "a" ] ]) in
-  Alcotest.(check int) "fact size" 3 (Message.size fact);
   Alcotest.(check bool) "is fact" true (Message.is_fact fact);
+  Alcotest.(check bool) "batch of facts is fact" true
+    (Message.is_fact (Message.Batch [ fact; fact ]));
   Alcotest.(check bool) "subscribe is control" true
-    (Message.is_control (Message.Subscribe (Symbol.intern "r")))
+    (Message.is_control (Message.Subscribe (Symbol.intern "r")));
+  (* encode/decode through one connection: physically identical result,
+     and a repeated spine costs fewer bytes the second time *)
+  let e = Wire.encoder () and d = Wire.decoder () in
+  let f1 = Wire.encode_message e fact in
+  Alcotest.(check bool) "roundtrip equal" true
+    (Message.equal fact (Wire.decode_message d f1));
+  let f2 = Wire.encode_message e fact in
+  Alcotest.(check bool) "second encode is a back-reference" true
+    (String.length f2 < String.length f1);
+  Alcotest.(check bool) "decoded again, still equal" true
+    (Message.equal fact (Wire.decode_message d f2));
+  (* corrupt frames are rejected *)
+  (match Wire.decode_message (Wire.decoder ()) "\255\255" with
+  | exception Wire.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupt frame accepted")
 
 let test_runtime_subscribe () =
   let rt = Runtime.create "p" in
@@ -456,7 +472,7 @@ let suite =
     ( "ddatalog",
       [ Alcotest.test_case "name distinctness" `Quick test_names_not_distinct;
         Alcotest.test_case "rule peers" `Quick test_drule_peers;
-        Alcotest.test_case "message size" `Quick test_message_size;
+        Alcotest.test_case "message wire codec" `Quick test_message_wire;
         Alcotest.test_case "runtime subscribe" `Quick test_runtime_subscribe;
         Alcotest.test_case "runtime install" `Quick test_runtime_install_idempotent ] );
     ( "canon",
