@@ -821,6 +821,151 @@ let e20 ?(ci = false) () =
       ("E20/wire_bytes", float_of_int !total_bytes) ]
 
 (* ------------------------------------------------------------------ *)
+(* E21: sustained streaming through the service                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One long-lived streaming session consumes a generated 10k-alarm stream
+   through the coordinator while short streaming sessions churn beside it.
+   The net is two synchronized 3-place cycles (peers p and q exchange a
+   token each round) whose first alarm of every round is ambiguous — a
+   conflict trap. The trap lineage stalls on its own peer immediately and
+   starves on the sync token within one round, so the prefix GC can prove
+   it conflict-dead: the live set stays flat while states_explored grows
+   linearly with the stream. Per-alarm wall time is sampled around every
+   [add_alarm]; comparing the last decile's p50 against the first
+   decile's is the fixpoint-restart tripwire — an engine that re-saturates
+   the prefix turns O(1)-per-alarm into O(n) and trips it instantly.
+   [--ci] asserts the flatness (and fails the build); rows land in
+   BENCH_diag.json as E21/*. *)
+let e21_rows : (string * float) list ref = ref []
+
+let e21_net () =
+  let place peer id = Petri.Net.mk_place ~peer id in
+  let tr peer alarm pre post id = Petri.Net.mk_transition ~peer ~alarm ~pre ~post id in
+  Petri.Net.make
+    ~places:
+      [ place "p" "p0"; place "p" "p1"; place "p" "p2"; place "p" "pX";
+        place "p" "sp"; place "q" "q0"; place "q" "q1"; place "q" "q2";
+        place "q" "qX"; place "q" "sq" ]
+    ~transitions:
+      [ tr "p" "a" [ "p0" ] [ "p1" ] "pa";
+        tr "p" "a" [ "p0" ] [ "pX" ] "pa'";  (* the conflict trap on p *)
+        tr "p" "b" [ "p1" ] [ "p2" ] "pb";
+        tr "p" "c" [ "p2"; "sq" ] [ "p0"; "sp" ] "pc";  (* sync q -> p *)
+        tr "q" "d" [ "q0" ] [ "q1" ] "qd";
+        tr "q" "d" [ "q0" ] [ "qX" ] "qd'";  (* the conflict trap on q *)
+        tr "q" "e" [ "q1" ] [ "q2" ] "qe";
+        tr "q" "f" [ "q2"; "sp" ] [ "q0"; "sq" ] "qf" ]  (* sync p -> q *)
+    ~marking:[ "p0"; "q0"; "sp" ]
+
+(* the unique firable alarm order per round: a b (p), d e f (q), c (p) *)
+let e21_alarm k =
+  [| ("a", "p"); ("b", "p"); ("d", "q"); ("e", "q"); ("f", "q"); ("c", "p") |].(k mod 6)
+
+let e21 ?(ci = false) () =
+  let long_total = 10_000 in
+  let shorts_total = if ci then 50 else 500 in
+  let short_window = 25 in
+  let short_len = 6 in
+  let report_every = 1_000 in
+  section "E21"
+    (Printf.sprintf
+       "Streaming: one %d-alarm session + %d short streams (window %d), prefix GC"
+       long_total shorts_total short_window);
+  let coord = Service.Coordinator.create ~quantum:8 () in
+  let ok = function Ok v -> v | Error m -> failwith ("E21: " ^ m) in
+  ignore (ok (Service.Coordinator.add_tenant coord ~name:"cycle" (e21_net ())));
+  let long_sid = ok (Service.Coordinator.open_stream coord ~tenant:"cycle") in
+  let lat = Array.make long_total 0. in
+  let shorts_opened = ref 0 and shorts_closed = ref 0 in
+  let short_alarms = ref 0 in
+  let active = ref [] in
+  let k = ref 0 in
+  let t0 = Obs.Clock.now_s () in
+  while !k < long_total || !shorts_closed < shorts_total do
+    if !k < long_total then begin
+      let symbol, peer = e21_alarm !k in
+      let a0 = Obs.Clock.now_s () in
+      ok (Service.Coordinator.add_alarm coord long_sid ~symbol ~peer);
+      lat.(!k) <- Obs.Clock.now_s () -. a0;
+      incr k;
+      (* periodic intermediate report: the O(delta) answer a streaming
+         client would poll for, folded into the measured workload *)
+      if !k mod report_every = 0 then begin
+        ignore (ok (Service.Coordinator.report coord long_sid));
+        let si = ok (Service.Coordinator.stream_info coord long_sid) in
+        Printf.printf "  ... %d/%d alarms (live states %d)\n%!" !k long_total
+          si.Service.Coordinator.si_live_states
+      end
+    end;
+    while !shorts_opened < shorts_total && List.length !active < short_window do
+      let sid = ok (Service.Coordinator.open_stream coord ~tenant:"cycle") in
+      active := (sid, ref 0) :: !active;
+      incr shorts_opened
+    done;
+    active :=
+      List.filter
+        (fun (sid, sent) ->
+          let symbol, peer = e21_alarm !sent in
+          ok (Service.Coordinator.add_alarm coord sid ~symbol ~peer);
+          incr short_alarms;
+          incr sent;
+          if !sent = short_len then begin
+            ignore (ok (Service.Coordinator.report coord sid));
+            ok (Service.Coordinator.close coord sid);
+            incr shorts_closed;
+            false
+          end
+          else true)
+        !active
+  done;
+  let final = ok (Service.Coordinator.report coord long_sid) in
+  let si = ok (Service.Coordinator.stream_info coord long_sid) in
+  let wall = Obs.Clock.now_s () -. t0 in
+  ok (Service.Coordinator.close coord long_sid);
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let pct p =
+    sorted.(min (long_total - 1) (int_of_float (p *. float_of_int long_total)))
+  in
+  let decile = long_total / 10 in
+  let decile_p50 off =
+    let s = Array.sub lat off decile in
+    Array.sort compare s;
+    s.(decile / 2)
+  in
+  let d_first = decile_p50 0 and d_last = decile_p50 (long_total - decile) in
+  let throughput = float_of_int (long_total + !short_alarms) /. wall in
+  Printf.printf "%10s %12s %10s %10s %12s %12s\n" "alarms" "alarms/s" "p50" "p99"
+    "peak-live" "reclaimed";
+  Printf.printf "%10d %12.0f %9.1fus %9.1fus %12d %12d\n"
+    (long_total + !short_alarms) throughput (pct 0.50 *. 1e6) (pct 0.99 *. 1e6)
+    si.Service.Coordinator.si_peak_live_states si.Service.Coordinator.si_gc_reclaimed;
+  Printf.printf
+    "(long stream: %d explanations at the final prefix, %d report frames for %d wire \
+     bytes;\n first-decile p50 %.1fus vs last-decile p50 %.1fus; %d short streams \
+     served)\n"
+    final.Service.Coordinator.explanations si.Service.Coordinator.si_reports
+    si.Service.Coordinator.si_wire_bytes (d_first *. 1e6) (d_last *. 1e6) !shorts_closed;
+  e21_rows :=
+    [ ("E21/long_alarms", float_of_int long_total);
+      ("E21/short_streams", float_of_int shorts_total);
+      ("E21/alarms_per_s", throughput);
+      ("E21/p50_us", pct 0.50 *. 1e6);
+      ("E21/p99_us", pct 0.99 *. 1e6);
+      ("E21/first_decile_p50_us", d_first *. 1e6);
+      ("E21/last_decile_p50_us", d_last *. 1e6);
+      ("E21/peak_live_states", float_of_int si.Service.Coordinator.si_peak_live_states);
+      ("E21/gc_reclaimed", float_of_int si.Service.Coordinator.si_gc_reclaimed);
+      ("E21/wire_bytes", float_of_int final.Service.Coordinator.wire_bytes) ];
+  if ci && d_last > 2. *. max d_first 1e-6 then
+    failwith
+      (Printf.sprintf
+         "E21: per-alarm latency is not flat (first-decile p50 %.1fus, last-decile \
+          p50 %.1fus > 2x) — fixpoint-restart regression"
+         (d_first *. 1e6) (d_last *. 1e6))
+
+(* ------------------------------------------------------------------ *)
 (* bechamel timings                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -942,7 +1087,8 @@ let metrics_section stats_json_file =
 let key_counters =
   [ "fact_store.probes"; "fact_store.candidates"; "fact_store.full_scans";
     "fact_store.index_builds"; "eval.rules_fired"; "eval.facts_derived";
-    "qsq.facts_derived"; "term.interned"; "term.hashcons_hits" ]
+    "qsq.facts_derived"; "term.interned"; "term.hashcons_hits";
+    "online.gc_reclaimed" ]
 
 let write_bench_json path (times : (string * float) list) =
   let buf = Buffer.create 1024 in
@@ -981,13 +1127,13 @@ let () =
   let experiments =
     if ci then
       [ ("E18", fun () -> e18 ~ci:true ()); ("E19", fun () -> e19 ~ci:true ());
-        ("E20", fun () -> e20 ~ci:true ()) ]
+        ("E20", fun () -> e20 ~ci:true ()); ("E21", fun () -> e21 ~ci:true ()) ]
     else
       [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
         ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
         ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
         ("E17", e17); ("E18", fun () -> e18 ()); ("E19", fun () -> e19 ());
-        ("E20", fun () -> e20 ()) ]
+        ("E20", fun () -> e20 ()); ("E21", fun () -> e21 ()) ]
   in
   let experiments =
     match only with
@@ -1003,6 +1149,6 @@ let () =
       experiments
   in
   metrics_section stats_json_file;
-  write_bench_json bench_json_file (times @ !e19_times @ !e20_rows);
+  write_bench_json bench_json_file (times @ !e19_times @ !e20_rows @ !e21_rows);
   if not (no_timings || ci) then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

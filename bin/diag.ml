@@ -498,9 +498,14 @@ let fuzz_cmd =
 (* ---------------- serve ---------------- *)
 
 let serve_cmd =
-  let run socket once quantum stats trace =
+  let run socket once quantum stream_budget stats trace =
     enable_trace trace;
-    let coord = Service.Coordinator.create ~quantum () in
+    let coord =
+      match stream_budget with
+      | Some stream_max_states ->
+        Service.Coordinator.create ~quantum ~stream_max_states ()
+      | None -> Service.Coordinator.create ~quantum ()
+    in
     (match socket with
     | None -> Service.Serve.stdio coord
     | Some path -> Service.Serve.socket coord ~path ~once);
@@ -522,11 +527,18 @@ let serve_cmd =
          & info [ "quantum" ] ~docv:"N"
              ~doc:"Message deliveries per session and round-robin turn.")
   in
+  let stream_budget =
+    Arg.(value & opt (some int) None
+         & info [ "stream-budget" ] ~docv:"N"
+             ~doc:"Default cumulative state budget for streaming sessions; a \
+                   stream passing it is marked failed (the per-stream BUDGET \
+                   argument of the `stream' command overrides this).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-tenant diagnosis service (line protocol; see \
              Service.Serve).")
-    Term.(const run $ socket $ once $ quantum $ stats_arg $ trace_arg)
+    Term.(const run $ socket $ once $ quantum $ stream_budget $ stats_arg $ trace_arg)
 
 (* ---------------- generate ---------------- *)
 

@@ -316,6 +316,103 @@ let codec_roundtrip i =
       failf "%d deliveries but no wire bytes accounted" r.Service.Coordinator.deliveries
     else Pass)
 
+(* -------- online (incremental) == batch at every prefix --------- *)
+
+(* The incremental engine must agree with the batch product diagnoser
+   after EVERY prefix of the alarm stream, not just at the end — and not
+   just on the diagnosis: the materialized prefix after k alarms must be
+   exactly the batch materialization of those k alarms (earlier prefixes'
+   state spaces embed in later ones, so the online union telescopes).
+   The supervisor sees alarms through asynchronous channels, so the same
+   scenario is replayed under a per-peer-order-preserving re-interleaving
+   and under the sim's loss policy (a lossy channel delivers a
+   subsequence; the survivors are diagnosed as their own stream). *)
+let online_check_stream net pairs ~tag =
+  let o = Online.start net in
+  let rec go k consumed = function
+    | [] ->
+      Online.release o;
+      Pass
+    | ((symbol, peer) as alarm) :: rest ->
+      Online.observe o alarm;
+      let consumed = alarm :: consumed in
+      let batch = Product.diagnose net (Petri.Alarm.make (List.rev consumed)) in
+      if not (Canon.equal_diagnosis batch.Product.diagnosis (Online.diagnosis o))
+      then begin
+        Online.release o;
+        failf "%s prefix %d (%s@%s): online %s vs batch %s" tag k symbol peer
+          (Canon.diagnosis_to_string (Online.diagnosis o))
+          (Canon.diagnosis_to_string batch.Product.diagnosis)
+      end
+      else if
+        not
+          (Term.Set.equal batch.Product.events_materialized
+             (Online.events_materialized o))
+      then begin
+        Online.release o;
+        failf "%s prefix %d: materialized events differ (online %d vs batch %d)" tag k
+          (Term.Set.cardinal (Online.events_materialized o))
+          (Term.Set.cardinal batch.Product.events_materialized)
+      end
+      else go (k + 1) consumed rest
+  in
+  go 1 [] pairs
+
+let online_eq_batch_prefix i =
+  let net = bnet i in
+  let pairs = Petri.Alarm.to_pairs i.alarms in
+  match online_check_stream net pairs ~tag:"arrival order," with
+  | Fail _ as f -> f
+  | Pass ->
+    let rng = Random.State.make [| 0x0a11; i.sim_seed |] in
+    let shuffled = Petri.Exec.async_shuffle ~rng pairs in
+    (match online_check_stream net shuffled ~tag:"re-interleaved," with
+    | Fail _ as f -> f
+    | Pass ->
+      let survivors = List.filter (fun _ -> Random.State.float rng 1. >= i.loss) pairs in
+      online_check_stream net survivors ~tag:"under loss,")
+
+(* ------------- prefix GC never changes the diagnosis ------------ *)
+
+(* GC drops conflict-dead states; the paper's diagnosis is defined over
+   complete configurations only, so reclamation must be invisible: with
+   GC on and off, the rendered diagnosis is byte-identical after every
+   prefix and the monotone materialized views stay equal, while the
+   GC'd live set never exceeds the unbounded one. *)
+let online_gc_equivalence i =
+  let net = bnet i in
+  let gc = Online.start ~gc:true net in
+  let nogc = Online.start ~gc:false net in
+  let finish r =
+    Online.release gc;
+    Online.release nogc;
+    r
+  in
+  let rec go k = function
+    | [] ->
+      if Online.gc_reclaimed nogc <> 0 then
+        finish (failf "gc:false reclaimed %d states" (Online.gc_reclaimed nogc))
+      else finish Pass
+    | alarm :: rest ->
+      Online.observe gc alarm;
+      Online.observe nogc alarm;
+      let dg = Canon.diagnosis_to_string (Online.diagnosis gc) in
+      let dn = Canon.diagnosis_to_string (Online.diagnosis nogc) in
+      if dg <> dn then
+        finish (failf "prefix %d: GC changed the diagnosis:\n%s\nvs\n%s" k dg dn)
+      else if
+        not
+          (Term.Set.equal (Online.events_materialized gc) (Online.events_materialized nogc)
+          && Term.Set.equal (Online.conds_materialized gc) (Online.conds_materialized nogc))
+      then finish (failf "prefix %d: GC changed the materialized views" k)
+      else if Online.live_states gc > Online.live_states nogc then
+        finish
+          (failf "prefix %d: GC'd live set (%d) exceeds the unbounded one (%d)" k
+             (Online.live_states gc) (Online.live_states nogc))
+      else go (k + 1) rest
+  in
+  go 1 (Petri.Alarm.to_pairs i.alarms)
+
 (* --------------- seed determinism (sim.mli contract) ------------ *)
 
 let dqsq_run i =
@@ -370,6 +467,11 @@ let all =
       ~applies:single_component_per_peer reference_vs_literal;
     mk "parallel-eq-sequential" "confluence (domain-parallel == sequential dQSQ)"
       parallel_eq_sequential;
+    mk "online-eq-batch-prefix"
+      "incrementality (online == batch after every prefix, any interleaving)"
+      online_eq_batch_prefix;
+    mk "online-gc-equivalence" "prefix GC is invisible (diagnosis byte-identical)"
+      online_gc_equivalence;
     mk "codec-roundtrip" "wire codec: service reports == in-memory reports"
       codec_roundtrip;
     mk "seed-determinism" "sim.mli: same seed and policy, same run" seed_determinism;

@@ -179,7 +179,16 @@ let live_terms () =
 module As_key = struct
   type nonrec t = t
 
-  let compare = compare_structural
+  (* Cached depth first, then structure. Still history-independent (depth
+     is a structural property), but O(1) on the common case: two events of
+     one causal chain always sit at distinct depths, so ordering a
+     configuration's k chain events costs O(k log k) instead of the
+     O(k^2 log k) that full structural walks over deep Skolem spines take.
+     Same-depth terms (concurrent branches) fall back to
+     [compare_structural], which stops at the first shared subterm. *)
+  let compare a b =
+    let c = Int.compare a.depth b.depth in
+    if c <> 0 then c else compare_structural a b
 end
 
 module Set = Set.Make (As_key)

@@ -1,164 +1,438 @@
-(* Online diagnosis; see the .mli. *)
+(* Incremental online diagnosis; see the .mli for the contract.
+
+   The engine is a delta-driven fixpoint over *nodes*: a node is the merge
+   of every search state sharing (per-peer positions, cut). Configurations
+   are carried as node payloads and flow along recorded successor edges, so
+   the expensive part — enumerating transition firings against a cut — runs
+   once per (node, peer slot) no matter how many configurations explain it.
+
+   Invariants:
+   - A node's extension at peer slot [p] is computed exactly once, at the
+     first moment slot [p] has an unconsumed alarm: either at node creation
+     (slot already lagging) or when the next alarm on [p] arrives (node was
+     caught up, i.e. positions.(p) = length of p's word).
+   - [caught_up.(p)] holds exactly the live nodes with
+     positions.(p) = word length of [p]; membership is established at node
+     creation and consumed (whole list) by the next alarm on [p]. [n.cu]
+     counts the slots where [n] is currently caught up.
+   - Liveness: LIVE(n) = caught-up at some peer (cu > 0). Once a node lags
+     at every peer its extension sets are final (future alarms only extend
+     caught-up nodes), no new in-edge can reach it (children always carry
+     the extending slot's current word length, hence are caught up there),
+     and its payloads have already flowed to its successors — it is inert
+     and GC drops it. Because caught-up-ness is inherited by children
+     (positions are inherited slot-wise and only compared against a
+     growing word), a dead node's in-edges come only from dead nodes, so
+     reclaiming needs no edge surgery on live nodes; and every node is
+     caught up somewhere at creation (a chained catch-up child inherits
+     one of its parent's caught-up slots, a frontier child is caught up at
+     the extending slot), so the dead are found among the just-consumed
+     frontier — GC is O(reclaimed) per alarm, not a table sweep.
+     No reclaimed key can recur: a node re-created with a dead node's
+     (positions, cut) would lag everywhere at birth, contradicting the
+     cu >= 1 creation invariant — so GC on/off build identical tables
+     modulo the inert nodes, and diagnoses are byte-identical.
+   - Refcounts: event terms are counted once per live edge, condition
+     terms once per live cut; [events_materialized]/[conds_materialized]
+     remain monotone views of everything ever built.
+   - Every per-alarm structure (cuts, config payloads, materialized views,
+     refcounts, node keys) is keyed by hash-cons tags, never by structural
+     term order: two same-transition events from different rounds diverge
+     only at the bottom of their causal spine, so a structural compare is
+     O(prefix) and would make each alarm degrade linearly with history.
+     Structural [Term.Set]s are built only at the [diagnosis] /
+     [events_materialized] boundaries, where canonical order matters. *)
 
 open Datalog
 
-type state = {
-  positions : (string * int) list;  (** alarms consumed per known peer *)
-  config : Term.Set.t;
-  cut : Term.Set.t;
+exception State_budget_exceeded of { states : int; alarms_consumed : int }
+
+let live_states_gauge = Obs.Metrics.gauge "online.live_states"
+let live_events_gauge = Obs.Metrics.gauge "online.live_events"
+let live_conds_gauge = Obs.Metrics.gauge "online.live_conds"
+let gc_reclaimed_counter = Obs.Metrics.counter "online.gc_reclaimed"
+
+(* growable per-peer alarm word: O(1) amortized push, O(1) random access *)
+type word = { mutable syms : string array; mutable len : int }
+
+let word_push w s =
+  if w.len = Array.length w.syms then begin
+    let a = Array.make (max 8 (2 * Array.length w.syms)) "" in
+    Array.blit w.syms 0 a 0 w.len;
+    w.syms <- a
+  end;
+  w.syms.(w.len) <- s;
+  w.len <- w.len + 1
+
+module Int_map = Map.Make (Int)
+
+(* Little-endian Patricia trie over event tags (Okasaki & Gill). Two
+   properties make it the right payload set for config deltas, where the
+   balanced stdlib [Set] is not:
+   - the shape is history-independent, so the same set built along two
+     different interleavings of a diamond is the same tree — and since
+     both sides grow by persistent [add] from a common ancestor, they are
+     largely the same *pointers*;
+   - [equal] therefore short-circuits on physical equality and only walks
+     the divergent spine, making the duplicate-delivery check O(delta)
+     and allocation-free instead of an O(|config|) enumeration walk. *)
+module Tag_set = struct
+  type t = Empty | Leaf of int | Branch of int * int * t * t
+      (* Branch (prefix, branching bit, zero side, one side) *)
+
+  let empty = Empty
+  let zero_bit k m = k land m = 0
+  let lowest_bit x = x land -x
+  let branching_bit p0 p1 = lowest_bit (p0 lxor p1)
+  let mask k m = k land (m - 1)
+  let match_prefix k p m = mask k m = p
+
+  let rec mem k = function
+    | Empty -> false
+    | Leaf j -> k = j
+    | Branch (p, m, l, r) ->
+      match_prefix k p m && mem k (if zero_bit k m then l else r)
+
+  let join p0 t0 p1 t1 =
+    let m = branching_bit p0 p1 in
+    if zero_bit p0 m then Branch (mask p0 m, m, t0, t1)
+    else Branch (mask p0 m, m, t1, t0)
+
+  let rec add k t =
+    match t with
+    | Empty -> Leaf k
+    | Leaf j -> if j = k then t else join k (Leaf k) j t
+    | Branch (p, m, l, r) ->
+      if match_prefix k p m then
+        if zero_bit k m then
+          let l' = add k l in
+          if l' == l then t else Branch (p, m, l', r)
+        else
+          let r' = add k r in
+          if r' == r then t else Branch (p, m, l, r')
+      else join k (Leaf k) p t
+
+  let rec equal a b =
+    a == b
+    ||
+    match (a, b) with
+    | Empty, Empty -> true
+    | Leaf i, Leaf j -> i = j
+    | Branch (p1, m1, l1, r1), Branch (p2, m2, l2, r2) ->
+      p1 = p2 && m1 = m2 && equal l1 l2 && equal r1 r2
+    | (Empty | Leaf _ | Branch _), _ -> false
+
+  let rec fold f t acc =
+    match t with
+    | Empty -> acc
+    | Leaf k -> f k acc
+    | Branch (_, _, l, r) -> fold f r (fold f l acc)
+end
+
+type node = {
+  positions : int array;  (** alarms consumed per peer slot *)
+  total : int;  (** sum of positions: complete iff = alarms seen *)
+  cut : Term.t Int_map.t;  (** condition tag -> condition term *)
+  key : int list;  (** positions ++ cut tags — the node's table key *)
+  mutable configs : (int * Tag_set.t) list;
+      (** (commutative hash, event tags of the config) *)
+  mutable succs : (Term.t * node) list;  (** (firing event, child) edges *)
+  mutable cu : int;  (** slots where caught up; 0 after a drain = inert *)
 }
+
+module Key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+  let hash k = List.fold_left (fun h i -> (h * 31) + i + 1) 17 k
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type work =
+  | Extend of node * int  (** compute the extension of a node at a peer slot *)
+  | Add_config of node * int * Tag_set.t  (** deliver a configuration *)
 
 type t = {
-  net : Petri.Net.t;
-  mutable words : (string * string list) list;  (** per-peer alarms, reversed *)
-  mutable states : state list;
-  seen : (string, unit) Hashtbl.t;
-  mutable events_materialized : Term.Set.t;
-  mutable conds_materialized : Term.Set.t;
+  peers : string array;
+  peer_index : (string, int) Hashtbl.t;
+  by_label : (int * string, Petri.Net.transition list) Hashtbl.t;
+      (** (peer slot, alarm symbol) -> transitions emitting it *)
+  words : word array;
+  table : node Tbl.t;  (** live nodes (plus dead ones when GC is off) *)
+  caught_up : node list array;
+  ref_events : (int, int) Hashtbl.t;  (** event tag -> live edge count *)
+  ref_conds : (int, int) Hashtbl.t;  (** cond tag -> live cut count *)
+  events_tbl : (int, Term.t) Hashtbl.t;  (** every event ever built, by tag *)
+  conds_tbl : (int, Term.t) Hashtbl.t;  (** every condition ever built, by tag *)
+  mutable live_count : int;
+  mutable reclaimed : int;
   mutable states_explored : int;
+  mutable alarms_seen : int;  (** known-peer alarms consumed *)
+  mutable unknown_alarms : int;  (** alarms from peers absent from the net *)
+  mutable released : bool;
   max_states : int;
+  gc_enabled : bool;
 }
 
-let state_key st =
-  String.concat "|" (List.map (fun (p, i) -> Printf.sprintf "%s=%d" p i) st.positions)
-  ^ "||"
-  ^ String.concat ";" (List.map Term.to_string (Term.Set.elements st.config))
+let key_of positions cut =
+  Array.fold_right
+    (fun i acc -> i :: acc)
+    positions
+    (Int_map.fold (fun tag _ acc -> tag :: acc) cut [])
 
-let start ?(max_states = 2_000_000) (net : Petri.Net.t) : t =
-  let initial_cut =
-    Petri.Net.String_set.fold
-      (fun place acc -> Term.Set.add (Term.app "g" [ Canon.root_term; Term.const place ]) acc)
-      (Petri.Net.marking net) Term.Set.empty
-  in
-  let st = { positions = []; config = Term.Set.empty; cut = initial_cut } in
-  let t =
-    {
-      net;
-      words = [];
-      states = [ st ];
-      seen = Hashtbl.create 256;
-      events_materialized = Term.Set.empty;
-      conds_materialized = initial_cut;
-      states_explored = 1;
-      max_states;
-    }
-  in
-  Hashtbl.add t.seen (state_key st) ();
-  t
+let ref_incr tbl gauge tag =
+  match Hashtbl.find_opt tbl tag with
+  | Some n -> Hashtbl.replace tbl tag (n + 1)
+  | None ->
+    Hashtbl.replace tbl tag 1;
+    Obs.Metrics.add_gauge gauge 1
 
-let word_length t p =
-  match List.assoc_opt p t.words with Some w -> List.length w | None -> 0
+let ref_decr tbl gauge tag =
+  match Hashtbl.find_opt tbl tag with
+  | Some 1 ->
+    Hashtbl.remove tbl tag;
+    Obs.Metrics.add_gauge gauge (-1)
+  | Some n -> Hashtbl.replace tbl tag (n - 1)
+  | None -> ()
 
-let word_at t p i = List.nth (List.rev (List.assoc p t.words)) i
+(* commutative event mix: config hashes are order-independent, so merged
+   nodes dedup payloads arriving along different interleavings in O(1)
+   before the [Term.Set.equal] confirmation *)
+let mix_event h ev = h + (Term.hash ev * 0x9e3779b1)
 
-(* try to extend [st] by one alarm of peer [p]; returns the new states *)
-let extensions t st p =
-  let i = List.assoc p st.positions in
-  if i >= word_length t p then []
-  else
-    let alarm = word_at t p i in
-    let transitions =
-      List.filter
+let extend_config h c ev =
+  let tag = Term.tag ev in
+  if Tag_set.mem tag c then (h, c) else (mix_event h ev, Tag_set.add tag c)
+
+let new_node t queue ~positions ~total ~cut ~key =
+  if t.states_explored >= t.max_states then
+    raise
+      (State_budget_exceeded
+         { states = t.states_explored; alarms_consumed = t.alarms_seen + t.unknown_alarms });
+  let n = { positions; total; cut; key; configs = []; succs = []; cu = 0 } in
+  Tbl.add t.table key n;
+  t.states_explored <- t.states_explored + 1;
+  t.live_count <- t.live_count + 1;
+  Obs.Metrics.add_gauge live_states_gauge 1;
+  Int_map.iter (fun tag _ -> ref_incr t.ref_conds live_conds_gauge tag) cut;
+  Array.iteri
+    (fun pi pos ->
+      if pos = t.words.(pi).len then begin
+        t.caught_up.(pi) <- n :: t.caught_up.(pi);
+        n.cu <- n.cu + 1
+      end
+      else Queue.add (Extend (n, pi)) queue)
+    positions;
+  n
+
+let add_config queue n h c =
+  if not (List.exists (fun (h', c') -> h' = h && Tag_set.equal c' c) n.configs) then begin
+    n.configs <- (h, c) :: n.configs;
+    List.iter
+      (fun (ev, succ) ->
+        let h', c' = extend_config h c ev in
+        Queue.add (Add_config (succ, h', c')) queue)
+      n.succs
+  end
+
+(* fire every transition of slot [pi]'s next unconsumed alarm against
+   [n.cut]; called exactly once per (node, slot) with an unconsumed alarm *)
+let extend t queue n pi =
+  let w = t.words.(pi) in
+  let i = n.positions.(pi) in
+  if i < w.len then begin
+    let alarm = w.syms.(i) in
+    match Hashtbl.find_opt t.by_label (pi, alarm) with
+    | None -> ()
+    | Some transitions ->
+      List.iter
         (fun (tr : Petri.Net.transition) ->
-          String.equal tr.Petri.Net.t_peer p && String.equal tr.Petri.Net.t_alarm alarm)
-        (Petri.Net.transitions t.net)
-    in
-    List.concat_map
-      (fun (tr : Petri.Net.transition) ->
-        let choices =
-          (* one cut condition per parent place, pairwise distinct *)
-          let rec go chosen = function
-            | [] -> [ List.rev chosen ]
+          let emit pre_conds =
+            let event = Term.app "f" (Term.const tr.Petri.Net.t_id :: pre_conds) in
+            let children =
+              List.map (fun c' -> Term.app "g" [ event; Term.const c' ]) tr.Petri.Net.t_post
+            in
+            Hashtbl.replace t.events_tbl (Term.tag event) event;
+            List.iter (fun cd -> Hashtbl.replace t.conds_tbl (Term.tag cd) cd) children;
+            let cut =
+              List.fold_left
+                (fun acc cd -> Int_map.add (Term.tag cd) cd acc)
+                (List.fold_left
+                   (fun acc cd -> Int_map.remove (Term.tag cd) acc)
+                   n.cut pre_conds)
+                children
+            in
+            let positions = Array.copy n.positions in
+            positions.(pi) <- i + 1;
+            let key = key_of positions cut in
+            let child =
+              match Tbl.find_opt t.table key with
+              | Some c -> c
+              | None -> new_node t queue ~positions ~total:(n.total + 1) ~cut ~key
+            in
+            n.succs <- (event, child) :: n.succs;
+            ref_incr t.ref_events live_events_gauge (Term.tag event);
+            List.iter
+              (fun (h, c) ->
+                let h', c' = extend_config h c event in
+                Queue.add (Add_config (child, h', c')) queue)
+              n.configs
+          in
+          (* one cut condition per parent place, pairwise distinct; the
+             emitted event's argument order follows [t_pre], so the cut's
+             iteration order never leaks into term identity *)
+          let rec choose chosen = function
+            | [] -> emit (List.rev chosen)
             | place :: rest ->
-              Term.Set.fold
-                (fun cond acc ->
+              Int_map.iter
+                (fun _ cond ->
                   match Term.view cond with
                   | Term.App (_, [ _; pl ])
                     when (match Term.view pl with
                          | Term.Const p -> String.equal (Symbol.name p) place
                          | Term.Var _ | Term.App _ -> false)
                          && not (List.exists (Term.equal cond) chosen) ->
-                    go (cond :: chosen) rest @ acc
-                  | _ -> acc)
-                st.cut []
+                    choose (cond :: chosen) rest
+                  | _ -> ())
+                n.cut
           in
-          go [] tr.Petri.Net.t_pre
-        in
-        List.map
-          (fun pre_conds ->
-            let event = Term.app "f" (Term.const tr.Petri.Net.t_id :: pre_conds) in
-            let children =
-              List.map (fun c' -> Term.app "g" [ event; Term.const c' ]) tr.Petri.Net.t_post
-            in
-            t.events_materialized <- Term.Set.add event t.events_materialized;
-            List.iter
-              (fun cd -> t.conds_materialized <- Term.Set.add cd t.conds_materialized)
-              children;
-            {
-              positions =
-                List.map (fun (q, j) -> if String.equal q p then (q, j + 1) else (q, j))
-                  st.positions;
-              config = Term.Set.add event st.config;
-              cut =
-                List.fold_left (fun acc cd -> Term.Set.add cd acc)
-                  (List.fold_left (fun acc cd -> Term.Set.remove cd acc) st.cut pre_conds)
-                  children;
-            })
-          choices)
-      transitions
+          choose [] tr.Petri.Net.t_pre)
+        transitions
+  end
 
-(* saturate: extend states until none lags behind any word without having
-   all its extensions explored *)
-let saturate t =
-  let queue = Queue.create () in
-  List.iter (fun st -> Queue.add st queue) t.states;
+let drain t queue =
   while not (Queue.is_empty queue) do
-    let st = Queue.pop queue in
-    List.iter
-      (fun (p, _) ->
-        List.iter
-          (fun st' ->
-            let key = state_key st' in
-            if not (Hashtbl.mem t.seen key) then begin
-              if Hashtbl.length t.seen >= t.max_states then
-                failwith "Online.observe: state budget exceeded";
-              Hashtbl.add t.seen key ();
-              t.states <- st' :: t.states;
-              t.states_explored <- t.states_explored + 1;
-              Queue.add st' queue
-            end)
-          (extensions t st p))
-      st.positions
+    match Queue.pop queue with
+    | Extend (n, pi) -> extend t queue n pi
+    | Add_config (n, h, c) -> add_config queue n h c
   done
 
+(* drop an inert node: each of its out-edges' event refcounts falls exactly
+   once (its source dies exactly once), and no live node holds an edge into
+   it (a dead node's parents are dead — see the liveness invariant), so no
+   other bookkeeping is touched *)
+let reclaim t n =
+  Tbl.remove t.table n.key;
+  t.live_count <- t.live_count - 1;
+  t.reclaimed <- t.reclaimed + 1;
+  Obs.Metrics.add_gauge live_states_gauge (-1);
+  Obs.Metrics.incr gc_reclaimed_counter;
+  Int_map.iter (fun tag _ -> ref_decr t.ref_conds live_conds_gauge tag) n.cut;
+  List.iter (fun (ev, _) -> ref_decr t.ref_events live_events_gauge (Term.tag ev)) n.succs;
+  n.succs <- []
+
+let start ?(max_states = 2_000_000) ?(gc = true) (net : Petri.Net.t) : t =
+  let peers = Array.of_list (Petri.Net.peers net) in
+  let peer_index = Hashtbl.create 8 in
+  Array.iteri (fun i p -> Hashtbl.replace peer_index p i) peers;
+  let by_label = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Petri.Net.transition) ->
+      match Hashtbl.find_opt peer_index tr.Petri.Net.t_peer with
+      | None -> ()
+      | Some pi ->
+        let k = (pi, tr.Petri.Net.t_alarm) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_label k) in
+        Hashtbl.replace by_label k (prev @ [ tr ]))
+    (Petri.Net.transitions net);
+  let initial_cut =
+    Petri.Net.String_set.fold
+      (fun place acc ->
+        let cd = Term.app "g" [ Canon.root_term; Term.const place ] in
+        Int_map.add (Term.tag cd) cd acc)
+      (Petri.Net.marking net) Int_map.empty
+  in
+  let t =
+    {
+      peers;
+      peer_index;
+      by_label;
+      words = Array.init (Array.length peers) (fun _ -> { syms = [||]; len = 0 });
+      table = Tbl.create 256;
+      caught_up = Array.make (max 1 (Array.length peers)) [];
+      ref_events = Hashtbl.create 256;
+      ref_conds = Hashtbl.create 256;
+      events_tbl = Hashtbl.create 256;
+      conds_tbl = Hashtbl.create 256;
+      live_count = 0;
+      reclaimed = 0;
+      states_explored = 0;
+      alarms_seen = 0;
+      unknown_alarms = 0;
+      released = false;
+      max_states;
+      gc_enabled = gc;
+    }
+  in
+  Int_map.iter (fun tag cd -> Hashtbl.replace t.conds_tbl tag cd) initial_cut;
+  let positions = Array.make (Array.length peers) 0 in
+  let queue = Queue.create () in
+  let root =
+    new_node t queue ~positions ~total:0 ~cut:initial_cut ~key:(key_of positions initial_cut)
+  in
+  root.configs <- [ (0, Tag_set.empty) ];
+  assert (Queue.is_empty queue);
+  t
+
 let observe (t : t) ((symbol, peer) : string * string) : unit =
-  (match List.assoc_opt peer t.words with
-  | Some w -> t.words <- (peer, symbol :: w) :: List.remove_assoc peer t.words
+  if t.released then invalid_arg "Online.observe: released instance";
+  match Hashtbl.find_opt t.peer_index peer with
   | None ->
-    t.words <- (peer, [ symbol ]) :: t.words;
-    (* a new peer: every state gains a zero position for it; keys change,
-       so rebuild the dedup table *)
-    t.states <-
-      List.map
-        (fun st -> { st with positions = List.sort compare ((peer, 0) :: st.positions) })
-        t.states;
-    Hashtbl.reset t.seen;
-    List.iter (fun st -> Hashtbl.add t.seen (state_key st) ()) t.states);
-  saturate t
+    (* no transition can ever explain it: the stream is unexplainable from
+       here on, but we keep consuming so the caller sees a [] diagnosis
+       rather than a crash *)
+    t.unknown_alarms <- t.unknown_alarms + 1
+  | Some pi ->
+    t.alarms_seen <- t.alarms_seen + 1;
+    word_push t.words.(pi) symbol;
+    let frontier = t.caught_up.(pi) in
+    t.caught_up.(pi) <- [];
+    let queue = Queue.create () in
+    List.iter
+      (fun n ->
+        n.cu <- n.cu - 1;
+        Queue.add (Extend (n, pi)) queue)
+      frontier;
+    drain t queue;
+    (* the only candidates for death are the nodes this alarm just consumed:
+       anything else either kept its caught-up slots or was born with one *)
+    if t.gc_enabled then List.iter (fun n -> if n.cu = 0 then reclaim t n) frontier
 
 let observe_all t alarms =
   List.iter (fun (a : Petri.Alarm.alarm) -> observe t (a.Petri.Alarm.symbol, a.Petri.Alarm.peer))
     alarms
 
-let diagnosis (t : t) : Canon.diagnosis =
-  Canon.normalize_diagnosis
-    (List.filter_map
-       (fun st ->
-         if List.for_all (fun (p, i) -> i = word_length t p) st.positions then
-           Some st.config
-         else None)
-       t.states)
+let config_terms t tags =
+  Tag_set.fold
+    (fun tag acc -> Term.Set.add (Hashtbl.find t.events_tbl tag) acc)
+    tags Term.Set.empty
 
-let events_materialized t = t.events_materialized
-let conds_materialized t = t.conds_materialized
+let diagnosis (t : t) : Canon.diagnosis =
+  if t.unknown_alarms > 0 then Canon.normalize_diagnosis []
+  else
+    Canon.normalize_diagnosis
+      (Tbl.fold
+         (fun _ n acc ->
+           if n.total = t.alarms_seen then
+             List.fold_left (fun acc (_, c) -> config_terms t c :: acc) acc n.configs
+           else acc)
+         t.table [])
+
+let set_of_tbl tbl = Hashtbl.fold (fun _ tm acc -> Term.Set.add tm acc) tbl Term.Set.empty
+let events_materialized t = set_of_tbl t.events_tbl
+let conds_materialized t = set_of_tbl t.conds_tbl
 let states_explored t = t.states_explored
+let live_states t = t.live_count
+let gc_reclaimed t = t.reclaimed
+let live_events t = Hashtbl.length t.ref_events
+let live_conds t = Hashtbl.length t.ref_conds
+let alarms_consumed t = t.alarms_seen + t.unknown_alarms
+
+let release t =
+  if not t.released then begin
+    t.released <- true;
+    Obs.Metrics.add_gauge live_states_gauge (-t.live_count);
+    Obs.Metrics.add_gauge live_events_gauge (-(Hashtbl.length t.ref_events));
+    Obs.Metrics.add_gauge live_conds_gauge (-(Hashtbl.length t.ref_conds))
+  end

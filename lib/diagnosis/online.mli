@@ -5,27 +5,51 @@
     "explains increasing prefixes of the alarm sequence", and the dedicated
     algorithm "adds, to the net constructed for the prefix of length i-1,
     the transition nodes that emit the i-th alarm". This module keeps the
-    search frontier alive between alarms: each [observe] extends the
-    per-peer subsequences and saturates the state space incrementally,
-    reusing everything built so far. At any moment {!diagnosis} returns the
-    explanations of the observation so far, and the materialized prefix
-    grows monotonically.
+    search frontier alive between alarms as a {e delta-driven} fixpoint:
 
-    States whose per-peer positions lag behind the current words are kept:
-    an early alarm's event may causally depend on an event explaining a
-    later alarm of another peer, so partial states must survive. *)
+    - Nodes are keyed by (per-peer positions, cut) using hash-consed term
+      tags; configurations explaining the same (positions, cut) pair are
+      merged into one node, so each extension is computed once per node
+      and peer slot, never per configuration.
+    - Each [observe] only touches the frontier delta: nodes whose position
+      at the alarm's peer was caught up extend by the new alarm; everything
+      already saturated is left untouched (semi-naive evaluation).
+    - After each alarm, inert nodes — nodes now lagging at every peer, so
+      their extension sets are final, no future edge can reach them, and
+      their payloads have already flowed to their successors — are garbage
+      collected in O(reclaimed) time. Materialized
+      events/conds stay a monotone view of everything ever built
+      ({!events_materialized} / {!conds_materialized}); the live tables
+      are refcounted so memory stays bounded on long streams.
+
+    Live-set size and reclamation are observable through the [lib/obs]
+    instruments [online.live_states] (gauge), [online.live_events] /
+    [online.live_conds] (gauges over the refcounted tables) and
+    [online.gc_reclaimed] (counter).
+
+    States whose per-peer positions lag behind the current words are kept
+    while any computed descendant might still complete: an early alarm's
+    event may causally depend on an event explaining a later alarm of
+    another peer, so partial states must survive until provably dead. *)
 
 open Datalog
 
 type t
 
-val start : ?max_states:int -> Petri.Net.t -> t
+exception State_budget_exceeded of { states : int; alarms_consumed : int }
+(** Raised by {!observe} when the cumulative number of explored states
+    passes [max_states]. [states] is the number explored when the budget
+    tripped; [alarms_consumed] counts alarms accepted so far (including
+    the one being processed). The instance is unusable afterwards. *)
+
+val start : ?max_states:int -> ?gc:bool -> Petri.Net.t -> t
 (** Begin supervising (nothing observed yet: the empty configuration is
-    the only explanation). *)
+    the only explanation). [gc] (default [true]) controls prefix garbage
+    collection; diagnosis output is identical either way. *)
 
 val observe : t -> string * string -> unit
 (** One alarm [(symbol, peer)] arrives.
-    @raise Failure when [max_states] is exceeded. *)
+    @raise State_budget_exceeded when [max_states] is exceeded. *)
 
 val observe_all : t -> Petri.Alarm.alarm list -> unit
 
@@ -34,4 +58,28 @@ val diagnosis : t -> Canon.diagnosis
 
 val events_materialized : t -> Term.Set.t
 val conds_materialized : t -> Term.Set.t
+
 val states_explored : t -> int
+(** Cumulative nodes created since [start] (monotone; GC never lowers it). *)
+
+val live_states : t -> int
+(** Nodes currently retained — those still caught up at some peer; bounded
+    on streams with GC (saturated history is dropped, not kept). *)
+
+val gc_reclaimed : t -> int
+(** Nodes reclaimed by GC since [start]. *)
+
+val live_events : t -> int
+(** Distinct event terms referenced by live edges (refcount table size). *)
+
+val live_conds : t -> int
+(** Distinct condition terms in live cuts (refcount table size). *)
+
+val alarms_consumed : t -> int
+(** Alarms accepted by {!observe} so far (unknown-peer alarms included). *)
+
+val release : t -> unit
+(** Return this instance's contribution to the process-wide
+    [online.live_*] gauges. Further [observe] calls raise
+    [Invalid_argument]; idempotent. The service calls this when a
+    streaming session closes or fails. *)

@@ -18,6 +18,8 @@ let completed_c = Obs.Metrics.counter "service.sessions_completed"
 let active_g = Obs.Metrics.gauge "service.active_sessions"
 let pooled_g = Obs.Metrics.gauge "service.pooled_engines"
 let latency_h = Obs.Metrics.histogram "service.session_latency_us"
+let streams_c = Obs.Metrics.counter "service.streams_started"
+let stream_alarm_h = Obs.Metrics.histogram "service.stream_alarm_latency_us"
 
 type tenant = {
   t_name : string;
@@ -46,7 +48,25 @@ type running = {
   mutable deliveries : int;
 }
 
-type phase = Open | Running of running | Done of report
+(* A streaming session holds an incremental [Online] engine instead of a
+   dQSQ engine: every alarm is explained on arrival (O(delta) frontier
+   extension), and [report] is a read of the live diagnosis pushed through
+   the same codec framing as the batch path. *)
+type stream = {
+  online : Online.t;
+  s_opened_at : float;
+  mutable s_reports : int;
+  mutable s_wire_bytes : int;  (* report frames emitted so far *)
+  mutable s_peak_live : int;
+  mutable s_last_latency : float;  (* last per-alarm observe wall time *)
+}
+
+type phase =
+  | Open
+  | Running of running
+  | Done of report
+  | Streaming of stream
+  | Failed of string
 
 type session = {
   id : int;
@@ -57,6 +77,7 @@ type session = {
 
 type t = {
   quantum : int;
+  stream_max_states : int option;  (* per-stream Online state budget *)
   tenants : (string, tenant) Hashtbl.t;
   sessions : (int, session) Hashtbl.t;
   mutable next_id : int;
@@ -68,15 +89,30 @@ type stats = {
   tenants_count : int;
   active : int;
   running : int;
+  streaming : int;
   pooled : int;
   started : int;
   completed : int;
 }
 
-let create ?(quantum = 16) () =
+type stream_info = {
+  si_alarms : int;
+  si_reports : int;
+  si_live_states : int;
+  si_peak_live_states : int;
+  si_gc_reclaimed : int;
+  si_wire_bytes : int;
+  si_last_latency_s : float;
+}
+
+let create ?(quantum = 16) ?stream_max_states () =
   if quantum < 1 then invalid_arg "Coordinator.create: quantum must be >= 1";
+  (match stream_max_states with
+  | Some n when n < 1 -> invalid_arg "Coordinator.create: stream_max_states must be >= 1"
+  | _ -> ());
   {
     quantum;
+    stream_max_states;
     tenants = Hashtbl.create 8;
     sessions = Hashtbl.create 32;
     next_id = 1;
@@ -131,6 +167,37 @@ let open_session t ~tenant:name =
   Obs.Metrics.add_gauge active_g 1;
   Ok id
 
+let open_stream ?max_states t ~tenant:name =
+  let* tn = tenant t name in
+  (match max_states with
+  | Some n when n < 1 -> errorf "stream max_states must be >= 1"
+  | _ ->
+    let budget =
+      match max_states with Some _ as m -> m | None -> t.stream_max_states
+    in
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let online =
+      match budget with
+      | Some max_states -> Online.start ~max_states tn.net
+      | None -> Online.start tn.net
+    in
+    let stream =
+      {
+        online;
+        s_opened_at = Obs.Clock.now_s ();
+        s_reports = 0;
+        s_wire_bytes = 0;
+        s_peak_live = Online.live_states online;
+        s_last_latency = 0.;
+      }
+    in
+    Hashtbl.add t.sessions id
+      { id; s_tenant = tn; alarms_rev = []; phase = Streaming stream };
+    Obs.Metrics.add_gauge active_g 1;
+    Obs.Metrics.incr streams_c;
+    Ok id)
+
 let add_alarm t sid ~symbol ~peer =
   let* s = session t sid in
   match s.phase with
@@ -140,6 +207,30 @@ let add_alarm t sid ~symbol ~peer =
       Ok ()
     end
     else errorf "session %d: tenant %s has no peer %s" sid s.s_tenant.t_name peer
+  | Streaming st ->
+    if List.mem peer (Petri.Net.peers s.s_tenant.net) then begin
+      let t0 = Obs.Clock.now_s () in
+      match Online.observe st.online (symbol, peer) with
+      | () ->
+        st.s_last_latency <- Obs.Clock.now_s () -. t0;
+        Obs.Metrics.observe stream_alarm_h (st.s_last_latency *. 1e6);
+        if Online.live_states st.online > st.s_peak_live then
+          st.s_peak_live <- Online.live_states st.online;
+        Ok ()
+      | exception Online.State_budget_exceeded { states; alarms_consumed } ->
+        (* degrade, don't crash: the stream is marked failed and its live
+           tables are released; the coordinator and every other session
+           keep going *)
+        Online.release st.online;
+        s.phase <-
+          Failed
+            (Printf.sprintf "state budget exceeded (%d states after %d alarms)"
+               states alarms_consumed);
+        errorf "session %d failed: state budget exceeded (%d states after %d alarms)"
+          sid states alarms_consumed
+    end
+    else errorf "session %d: tenant %s has no peer %s" sid s.s_tenant.t_name peer
+  | Failed m -> errorf "session %d failed: %s" sid m
   | Running _ | Done _ -> errorf "session %d already started" sid
 
 let engine_bytes engine =
@@ -160,6 +251,8 @@ let start (t : t) sid =
   let* s = session t sid in
   match s.phase with
   | Running _ | Done _ -> errorf "session %d already started" sid
+  | Streaming _ -> errorf "session %d is a stream" sid
+  | Failed m -> errorf "session %d failed: %s" sid m
   | Open ->
     (match
        let tn = s.s_tenant in
@@ -223,7 +316,7 @@ let finalize (t : t) (s : session) (r : running) =
 
 let step_session t (s : session) =
   match s.phase with
-  | Open | Done _ -> ()
+  | Open | Done _ | Streaming _ | Failed _ -> ()
   | Running r ->
     let budget = ref t.quantum in
     while !budget > 0 && Qsq_engine.step r.engine do
@@ -259,24 +352,74 @@ let drive ?only t =
     let* s = session t sid in
     (match s.phase with
     | Open -> errorf "session %d not started" sid
+    | Streaming _ -> errorf "session %d is a stream" sid
+    | Failed m -> errorf "session %d failed: %s" sid m
     | Done _ -> Ok ()
     | Running _ ->
       while not (is_done t sid) && step_round t do () done;
       if is_done t sid then Ok ()
       else errorf "session %d stalled" sid)
 
+(* Streaming report: read the live diagnosis (already saturated — O(live)
+   rather than O(work)), push it through the same codec framing as the
+   batch path, and render. Byte-identical to [Report.to_string] over the
+   direct [Online.diagnosis]. The session stays open for more alarms. *)
+let stream_report (s : session) (st : stream) =
+  let diagnosis = Online.diagnosis st.online in
+  let frame =
+    Wire.encode_configs (Wire.encoder ()) (List.map Term.Set.elements diagnosis)
+  in
+  let configs = Wire.decode_configs (Wire.decoder ()) frame in
+  let diagnosis = List.map Term.Set.of_list configs in
+  let body = Report.to_string s.s_tenant.net diagnosis in
+  st.s_reports <- st.s_reports + 1;
+  st.s_wire_bytes <- st.s_wire_bytes + String.length frame;
+  {
+    session = s.id;
+    tenant = s.s_tenant.t_name;
+    explanations = List.length diagnosis;
+    body;
+    deliveries = Online.alarms_consumed st.online;
+    wire_bytes = st.s_wire_bytes;
+    latency_s = Obs.Clock.now_s () -. st.s_opened_at;
+  }
+
 let report t sid =
   let* s = session t sid in
   match s.phase with
   | Done r -> Ok r
+  | Streaming st -> Ok (stream_report s st)
+  | Failed m -> errorf "session %d failed: %s" sid m
   | Open -> errorf "session %d not started" sid
   | Running _ -> errorf "session %d still running" sid
+
+let stream_info t sid =
+  let* s = session t sid in
+  match s.phase with
+  | Streaming st ->
+    Ok
+      {
+        si_alarms = Online.alarms_consumed st.online;
+        si_reports = st.s_reports;
+        si_live_states = Online.live_states st.online;
+        si_peak_live_states = st.s_peak_live;
+        si_gc_reclaimed = Online.gc_reclaimed st.online;
+        si_wire_bytes = st.s_wire_bytes;
+        si_last_latency_s = st.s_last_latency;
+      }
+  | Failed m -> errorf "session %d failed: %s" sid m
+  | Open | Running _ | Done _ -> errorf "session %d is not a stream" sid
 
 let close t sid =
   let* s = session t sid in
   match s.phase with
   | Running _ -> errorf "session %d still running" sid
-  | Open | Done _ ->
+  | Streaming st ->
+    Online.release st.online;
+    Hashtbl.remove t.sessions sid;
+    Obs.Metrics.add_gauge active_g (-1);
+    Ok ()
+  | Open | Done _ | Failed _ ->
     Hashtbl.remove t.sessions sid;
     Obs.Metrics.add_gauge active_g (-1);
     Ok ()
@@ -284,6 +427,11 @@ let close t sid =
 let stats (t : t) =
   let active = Hashtbl.length t.sessions in
   let running = List.length (running_sessions t) in
+  let streaming =
+    Hashtbl.fold
+      (fun _ s acc -> match s.phase with Streaming _ -> acc + 1 | _ -> acc)
+      t.sessions 0
+  in
   let pooled =
     Hashtbl.fold (fun _ tn acc -> acc + List.length tn.pool) t.tenants 0
   in
@@ -291,6 +439,7 @@ let stats (t : t) =
     tenants_count = Hashtbl.length t.tenants;
     active;
     running;
+    streaming;
     pooled;
     started = t.started;
     completed = t.completed;

@@ -16,9 +16,19 @@
     resets the stores in place ({!Datalog.Fact_store.reset}) without sharing
     them across tenants.
 
+    Streaming sessions ({!open_stream}) hold a per-session incremental
+    {!Diagnosis.Online} engine instead: each alarm is explained on arrival
+    (an O(delta) frontier extension with prefix GC), and {!report} reads
+    the live diagnosis at any prefix, framed through the same wire codec
+    as the batch path so the body is byte-identical to the direct
+    [Online.diagnosis] rendering. A stream whose state budget trips is
+    marked failed and its live tables released — the coordinator and every
+    other session keep running.
+
     Metrics: counters [service.sessions_started] /
-    [service.sessions_completed], gauges [service.active_sessions] /
-    [service.pooled_engines], histogram [service.session_latency_us]. *)
+    [service.sessions_completed] / [service.streams_started], gauges
+    [service.active_sessions] / [service.pooled_engines], histograms
+    [service.session_latency_us] / [service.stream_alarm_latency_us]. *)
 
 type t
 
@@ -36,16 +46,28 @@ type report = {
 
 type stats = {
   tenants_count : int;
-  active : int;  (** open, running or unfetched-done sessions *)
+  active : int;  (** open, running, streaming or unfetched-done sessions *)
   running : int;
+  streaming : int;  (** live streaming sessions *)
   pooled : int;  (** warm engines parked across all tenants *)
-  started : int;
+  started : int;  (** batch sessions started *)
   completed : int;
 }
 
-val create : ?quantum:int -> unit -> t
+type stream_info = {
+  si_alarms : int;  (** alarms consumed by the stream *)
+  si_reports : int;  (** reports rendered so far *)
+  si_live_states : int;  (** current [Online.live_states] *)
+  si_peak_live_states : int;  (** high-water mark over the stream's life *)
+  si_gc_reclaimed : int;  (** states reclaimed by the prefix GC *)
+  si_wire_bytes : int;  (** cumulative report-frame bytes *)
+  si_last_latency_s : float;  (** wall time of the last alarm's extension *)
+}
+
+val create : ?quantum:int -> ?stream_max_states:int -> unit -> t
 (** [quantum] (default 16) is the number of deliveries one session gets
-    per round-robin turn. *)
+    per round-robin turn. [stream_max_states] bounds every streaming
+    session's cumulative explored states (default: the [Online] default). *)
 
 val add_tenant : t -> name:string -> Petri.Net.t -> (string list, string) result
 (** Register a tenant; the net is binarized if needed. Returns the peer
@@ -55,7 +77,18 @@ val add_tenant : t -> name:string -> Petri.Net.t -> (string list, string) result
 val tenant_names : t -> string list
 
 val open_session : t -> tenant:string -> (int, string) result
+
+val open_stream : ?max_states:int -> t -> tenant:string -> (int, string) result
+(** Open a streaming session: an incremental [Online] engine supervises the
+    tenant's net from the empty observation. [max_states] overrides the
+    coordinator's [stream_max_states] for this stream. *)
+
 val add_alarm : t -> int -> symbol:string -> peer:string -> (unit, string) result
+(** Batch sessions buffer the alarm; streaming sessions explain it on the
+    spot (the O(delta) extension). When a stream's state budget trips, the
+    session moves to a failed state, its engine is released, and every
+    subsequent command on it reports the failure — the coordinator itself
+    is unaffected. *)
 
 val start : t -> int -> (unit, string) result
 (** Build the session's program (cached unfolding + fresh supervisor
@@ -73,8 +106,17 @@ val drive : ?only:int -> t -> (unit, string) result
     advance: the interleaving is real). *)
 
 val report : t -> int -> (report, string) result
+(** Batch: the stored finalized report. Streaming: a fresh report of the
+    diagnosis at the current prefix — [deliveries] counts alarms consumed,
+    [wire_bytes] accumulates report frames, [latency_s] is open-to-now —
+    and the stream stays open for more alarms. *)
+
+val stream_info : t -> int -> (stream_info, string) result
+(** Live gauges of a streaming session (errors on non-stream sessions). *)
+
 val close : t -> int -> (unit, string) result
-(** Forget a done (or never-started) session; its engine was already
-    returned to the tenant pool at finalization. *)
+(** Forget a done, failed, streaming or never-started session; a batch
+    engine was already returned to the tenant pool at finalization, a
+    stream's engine is released here. *)
 
 val stats : t -> stats

@@ -66,6 +66,25 @@ let handle coord oc line =
        respond oc "ok session %d" sid;
        Ok ());
     Continue
+  | "stream" :: tenant :: rest ->
+    reply
+      (let* max_states =
+         match rest with
+         | [] -> Ok None
+         | [ b ] ->
+           (match int_of_string_opt b with
+           | Some n -> Ok (Some n)
+           | None -> Error (b ^ " is not a state budget"))
+         | _ -> Error "usage: stream TENANT [MAX_STATES]"
+       in
+       let* sid =
+         match max_states with
+         | Some max_states -> Coordinator.open_stream ~max_states coord ~tenant
+         | None -> Coordinator.open_stream coord ~tenant
+       in
+       respond oc "ok stream %d" sid;
+       Ok ());
+    Continue
   | [ "alarm"; sid; symbol; peer ] ->
     reply
       (let* sid = int_arg sid in
@@ -104,9 +123,11 @@ let handle coord oc line =
     Continue
   | [ "stats" ] ->
     let s = Coordinator.stats coord in
-    respond oc "ok stats tenants=%d active=%d running=%d pooled=%d started=%d completed=%d"
+    respond oc
+      "ok stats tenants=%d active=%d running=%d streaming=%d pooled=%d started=%d completed=%d"
       s.Coordinator.tenants_count s.Coordinator.active s.Coordinator.running
-      s.Coordinator.pooled s.Coordinator.started s.Coordinator.completed;
+      s.Coordinator.streaming s.Coordinator.pooled s.Coordinator.started
+      s.Coordinator.completed;
     Continue
   | cmd :: _ ->
     respond oc "err unknown command %s" cmd;

@@ -5,10 +5,16 @@
     {v
       tenant NAME NETFILE      register a tenant from a Petri.Parse file
       open TENANT              -> ok session SID
-      alarm SID SYMBOL PEER    append one observed alarm
+      stream TENANT [BUDGET]   -> ok stream SID (incremental session;
+                               BUDGET overrides the stream state budget)
+      alarm SID SYMBOL PEER    append one observed alarm (streams explain
+                               it immediately; a tripped state budget
+                               fails the session, not the server)
       run SID                  start + drive to quiescence -> ok done ...
       report SID               -> ok report SID, indented body, end
-      close SID                forget a finished session
+                               (streams: the diagnosis at this prefix;
+                               the session stays open)
+      close SID                forget a finished or streaming session
       stats                    -> ok stats tenants=.. active=.. ...
       quit                     -> ok bye (socket clients disconnect)
     v}

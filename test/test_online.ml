@@ -85,8 +85,93 @@ let test_online_materialization_monotone () =
   Alcotest.(check bool) "events == batch" true
     (Term.Set.equal batch.Product.events_materialized (Online.events_materialized t))
 
+let test_online_budget_exception () =
+  let net = running_net () in
+  let t = Online.start ~max_states:1 net in
+  try
+    Online.observe t ("b", "p1");
+    Alcotest.fail "state budget not enforced"
+  with Online.State_budget_exceeded { states; alarms_consumed } ->
+    Alcotest.(check int) "states at the trip" 1 states;
+    Alcotest.(check int) "alarms consumed at the trip" 1 alarms_consumed
+
+(* one peer, one token: alarm [a] has three candidate firings, two of which
+   strand the token (no [b] possible) — after observing [b] those branches
+   are provably conflict-dead and the GC must reclaim them *)
+let gc_net () =
+  Petri.Net.binarize
+    (Petri.Net.make
+       ~places:
+         [ Petri.Net.mk_place ~peer:"p" "s0";
+           Petri.Net.mk_place ~peer:"p" "sA";
+           Petri.Net.mk_place ~peer:"p" "sA'";
+           Petri.Net.mk_place ~peer:"p" "sB";
+           Petri.Net.mk_place ~peer:"p" "sC" ]
+       ~transitions:
+         [ Petri.Net.mk_transition ~peer:"p" ~alarm:"a" ~pre:[ "s0" ] ~post:[ "sA" ] "ta1";
+           Petri.Net.mk_transition ~peer:"p" ~alarm:"a" ~pre:[ "s0" ] ~post:[ "sA'" ] "ta2";
+           Petri.Net.mk_transition ~peer:"p" ~alarm:"a" ~pre:[ "s0" ] ~post:[ "sB" ] "ta3";
+           Petri.Net.mk_transition ~peer:"p" ~alarm:"b" ~pre:[ "sB" ] ~post:[ "sC" ] "tb" ]
+       ~marking:[ "s0" ])
+
+let test_online_gc_shrinks () =
+  let t = Online.start (gc_net ()) in
+  Online.observe t ("a", "p");
+  (* the three branches are the whole frontier; the saturated root is gone *)
+  Alcotest.(check int) "three branches live" 3 (Online.live_states t);
+  Alcotest.(check int) "root reclaimed" 1 (Online.gc_reclaimed t);
+  let g = Obs.Metrics.gauge "online.live_states" in
+  let g0 = Obs.Metrics.gauge_value g in
+  Online.observe t ("b", "p");
+  (* +1 node for [tb]'s child; the two stranded branches are conflict-dead
+     and [ta3]'s node is saturated — all three reclaimed *)
+  Alcotest.(check int) "only the surviving frontier lives" 1 (Online.live_states t);
+  Alcotest.(check int) "four states reclaimed in all" 4 (Online.gc_reclaimed t);
+  Alcotest.(check int) "online.live_states gauge shrank" (g0 - 2) (Obs.Metrics.gauge_value g);
+  let d = Online.diagnosis t in
+  Alcotest.(check int) "one explanation" 1 (List.length d);
+  Alcotest.(check (list string)) "the surviving branch" [ "ta3"; "tb" ]
+    (Canon.config_transitions (List.hd d));
+  Online.release t
+
+let test_online_gc_equivalent () =
+  let net = running_net () in
+  let on = Online.start ~gc:true net in
+  let off = Online.start ~gc:false net in
+  List.iter
+    (fun alarm ->
+      Online.observe on alarm;
+      Online.observe off alarm;
+      Alcotest.(check string) "diagnosis byte-identical at every prefix"
+        (Canon.diagnosis_to_string (Online.diagnosis off))
+        (Canon.diagnosis_to_string (Online.diagnosis on));
+      Alcotest.(check bool) "materialized events identical" true
+        (Term.Set.equal (Online.events_materialized off) (Online.events_materialized on)))
+    [ ("b", "p1"); ("a", "p2"); ("c", "p1") ];
+  Alcotest.(check bool) "GC'd live set never larger" true
+    (Online.live_states on <= Online.live_states off);
+  Alcotest.(check int) "no reclamation with GC off" 0 (Online.gc_reclaimed off);
+  Online.release on;
+  Online.release off
+
+let test_online_release () =
+  let t = Online.start (running_net ()) in
+  Online.observe t ("b", "p1");
+  let g = Obs.Metrics.gauge "online.live_states" in
+  let before = Obs.Metrics.gauge_value g in
+  let live = Online.live_states t in
+  Online.release t;
+  Online.release t;
+  (* idempotent *)
+  Alcotest.(check int) "gauge contribution returned once" (before - live)
+    (Obs.Metrics.gauge_value g);
+  match Online.observe t ("a", "p2") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "observe after release accepted"
+
 let prop_online_eq_batch =
-  QCheck.Test.make ~count:25 ~name:"online == batch (random scenarios)"
+  QCheck.Test.make ~count:25
+    ~name:"online == batch after every prefix (random scenarios)"
     (QCheck.make
        ~print:(fun (s, k) -> Printf.sprintf "seed=%d steps=%d" s k)
        QCheck.Gen.(tup2 (0 -- 10000) (1 -- 5)))
@@ -105,10 +190,27 @@ let prop_online_eq_batch =
       let _, a = Petri.Generator.scenario ~rng:(rng (seed + 1)) ~steps net in
       QCheck.assume (Petri.Alarm.length a > 0);
       let t = Online.start net in
-      Online.observe_all t a;
-      let batch = Product.diagnose net a in
-      Canon.equal_diagnosis batch.Product.diagnosis (Online.diagnosis t)
-      && Term.Set.equal batch.Product.events_materialized (Online.events_materialized t))
+      let consumed =
+        List.fold_left
+          (fun consumed alarm ->
+            Online.observe t alarm;
+            let consumed = consumed @ [ alarm ] in
+            let batch = Product.diagnose net (Petri.Alarm.make consumed) in
+            if not (Canon.equal_diagnosis batch.Product.diagnosis (Online.diagnosis t)) then
+              QCheck.Test.fail_reportf "diagnosis diverges after prefix %d"
+                (List.length consumed);
+            if
+              not
+                (Term.Set.equal batch.Product.events_materialized
+                   (Online.events_materialized t))
+            then
+              QCheck.Test.fail_reportf "materialized events diverge after prefix %d"
+                (List.length consumed);
+            consumed)
+          [] (Petri.Alarm.to_pairs a)
+      in
+      Online.release t;
+      List.length consumed = Petri.Alarm.length a)
 
 (* ------------------------------------------------------------------ *)
 (* Report                                                             *)
@@ -169,7 +271,12 @@ let suite =
         Alcotest.test_case "prefixes match batch" `Quick test_online_prefixes_match_batch;
         Alcotest.test_case "cross-peer dependency" `Quick test_online_cross_peer_dependency;
         Alcotest.test_case "materialization monotone" `Quick
-          test_online_materialization_monotone ]
+          test_online_materialization_monotone;
+        Alcotest.test_case "state budget exception" `Quick test_online_budget_exception;
+        Alcotest.test_case "gc reclaims conflict-dead branches" `Quick
+          test_online_gc_shrinks;
+        Alcotest.test_case "gc on == gc off" `Quick test_online_gc_equivalent;
+        Alcotest.test_case "release" `Quick test_online_release ]
       @ qcheck [ prop_online_eq_batch ] );
     ( "report",
       [ Alcotest.test_case "text" `Quick test_report_text;

@@ -119,9 +119,84 @@ let test_lifecycle_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "report after close accepted"
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* every per-alarm report of a streaming session must be byte-identical to
+   rendering the direct [Online] engine at the same prefix — the service
+   adds codec framing, pooling, and session plumbing but zero bytes of
+   divergence *)
+let test_stream_matches_direct () =
+  let coord = Coordinator.create ~quantum:4 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"t" (running_net ())));
+  let sid = ok (Coordinator.open_stream coord ~tenant:"t") in
+  let net = Petri.Net.binarize (running_net ()) in
+  let direct = Diagnosis.Online.start net in
+  List.iteri
+    (fun k (symbol, peer) ->
+      ok (Coordinator.add_alarm coord sid ~symbol ~peer);
+      Diagnosis.Online.observe direct (symbol, peer);
+      let r = ok (Coordinator.report coord sid) in
+      let expected =
+        Diagnosis.Report.to_string net (Diagnosis.Online.diagnosis direct)
+      in
+      Alcotest.(check string) "per-alarm report byte-identical" expected
+        r.Coordinator.body;
+      Alcotest.(check int) "deliveries = alarms consumed" (k + 1)
+        r.Coordinator.deliveries)
+    seq;
+  Alcotest.(check int) "one live stream" 1 (Coordinator.stats coord).Coordinator.streaming;
+  let si = ok (Coordinator.stream_info coord sid) in
+  Alcotest.(check int) "alarms counted" 3 si.Coordinator.si_alarms;
+  Alcotest.(check int) "reports counted" 3 si.Coordinator.si_reports;
+  Alcotest.(check bool) "peak live >= live" true
+    (si.Coordinator.si_peak_live_states >= si.Coordinator.si_live_states);
+  Alcotest.(check bool) "live states bounded" true (si.Coordinator.si_live_states > 0);
+  Alcotest.(check bool) "report frames accounted" true (si.Coordinator.si_wire_bytes > 0);
+  ok (Coordinator.close coord sid);
+  Alcotest.(check int) "stream gone" 0 (Coordinator.stats coord).Coordinator.streaming;
+  Diagnosis.Online.release direct
+
+(* a tripped state budget fails the one session, not the coordinator *)
+let test_stream_budget_failure () =
+  let coord = Coordinator.create ~quantum:4 ~stream_max_states:1 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"t" (running_net ())));
+  let sid = ok (Coordinator.open_stream coord ~tenant:"t") in
+  (match Coordinator.add_alarm coord sid ~symbol:"b" ~peer:"p1" with
+  | Error m ->
+    Alcotest.(check bool) "error names the budget" true (contains m "state budget exceeded")
+  | Ok () -> Alcotest.fail "stream budget not enforced");
+  (match Coordinator.report coord sid with
+  | Error m -> Alcotest.(check bool) "report reports the failure" true (contains m "failed")
+  | Ok _ -> Alcotest.fail "report on a failed stream accepted");
+  (match Coordinator.add_alarm coord sid ~symbol:"a" ~peer:"p2" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "alarm on a failed stream accepted");
+  Alcotest.(check int) "failed stream not streaming" 0
+    (Coordinator.stats coord).Coordinator.streaming;
+  ok (Coordinator.close coord sid);
+  (* the coordinator survives: a batch session and a fresh stream with an
+     explicit (sufficient) budget both still work *)
+  let b = start_one coord "t" seq in
+  ignore (finish_one coord b);
+  let s2 = ok (Coordinator.open_stream ~max_states:1000 coord ~tenant:"t") in
+  List.iter
+    (fun (symbol, peer) -> ok (Coordinator.add_alarm coord s2 ~symbol ~peer))
+    seq;
+  let r = ok (Coordinator.report coord s2) in
+  Alcotest.(check int) "fresh stream diagnoses" 3 r.Coordinator.explanations;
+  ok (Coordinator.close coord s2)
+
 let () =
   Alcotest.run "service"
     [ ( "coordinator",
         [ Alcotest.test_case "tenant isolation" `Quick test_tenant_isolation;
           Alcotest.test_case "warm-engine recycling" `Quick test_warm_recycling;
-          Alcotest.test_case "lifecycle errors" `Quick test_lifecycle_errors ] ) ]
+          Alcotest.test_case "lifecycle errors" `Quick test_lifecycle_errors ] );
+      ( "streaming",
+        [ Alcotest.test_case "per-alarm reports == direct Online" `Quick
+            test_stream_matches_direct;
+          Alcotest.test_case "state budget fails gracefully" `Quick
+            test_stream_budget_failure ] ) ]
