@@ -966,6 +966,126 @@ let e21 ?(ci = false) () =
          (d_first *. 1e6) (d_last *. 1e6))
 
 (* ------------------------------------------------------------------ *)
+(* E22: durability — kill a stream mid-flight, restore, finish          *)
+(* ------------------------------------------------------------------ *)
+
+(* The crash-recovery claim, measured: one coordinator streams the E21
+   cycle net, checkpointing every tenth of the run through the snapshot
+   codec; at the halfway point the coordinator is dropped on the floor
+   and a fresh one adopts the last checkpoint ([restore_stream]) and
+   consumes the remaining alarms. The final report must be byte-identical
+   to an uninterrupted reference run of the same stream — the bench fails
+   otherwise. A checkpoint carries only the live frontier, but the
+   frontier's configurations embed their causal history — the explanation
+   itself is Ω(prefix) — so the honest compaction bound is relative:
+   snapshot bytes *per consumed alarm* stay flat as the prefix grows 5x
+   (dead branches and the monotone materialized views never enter the
+   frame), and the whole snapshot stays below the rendered diagnosis at
+   the same prefix. Both asserted under [--ci]; rows land in
+   BENCH_diag.json as E22/*. *)
+let e22_rows : (string * float) list ref = ref []
+
+let e22 ?(ci = false) () =
+  let total = if ci then 5_000 else 100_000 in
+  let kill_at = total / 2 in
+  let ckpt_every = total / 10 in
+  section "E22"
+    (Printf.sprintf
+       "Durability: kill at %d of %d alarms, restore from the last checkpoint, finish"
+       kill_at total);
+  let ok = function Ok v -> v | Error m -> failwith ("E22: " ^ m) in
+  let mk_coord () =
+    let coord = Service.Coordinator.create ~quantum:8 () in
+    ignore (ok (Service.Coordinator.add_tenant coord ~name:"cycle" (e21_net ())));
+    coord
+  in
+  let feed coord sid lo hi =
+    for k = lo to hi - 1 do
+      let symbol, peer = e21_alarm k in
+      ok (Service.Coordinator.add_alarm coord sid ~symbol ~peer)
+    done
+  in
+  (* the uninterrupted reference run *)
+  let t0 = Obs.Clock.now_s () in
+  let ref_coord = mk_coord () in
+  let ref_sid = ok (Service.Coordinator.open_stream ref_coord ~tenant:"cycle") in
+  feed ref_coord ref_sid 0 total;
+  let ref_report = ok (Service.Coordinator.report ref_coord ref_sid) in
+  ok (Service.Coordinator.close ref_coord ref_sid);
+  let t_ref = Obs.Clock.now_s () -. t0 in
+  (* phase A: stream with periodic checkpoints, then die *)
+  let a = mk_coord () in
+  let sa = ok (Service.Coordinator.open_stream a ~tenant:"cycle") in
+  let ckpt_lat = ref [] in
+  let first_bytes = ref 0 in
+  let last_blob = ref "" in
+  for k = 0 to kill_at - 1 do
+    let symbol, peer = e21_alarm k in
+    ok (Service.Coordinator.add_alarm a sa ~symbol ~peer);
+    if (k + 1) mod ckpt_every = 0 then begin
+      let c0 = Obs.Clock.now_s () in
+      let blob = Snapshot.encode_stream (ok (Service.Coordinator.checkpoint_stream a sa)) in
+      ckpt_lat := (Obs.Clock.now_s () -. c0) :: !ckpt_lat;
+      if !first_bytes = 0 then first_bytes := String.length blob;
+      last_blob := blob
+    end
+  done;
+  let kill_report = ok (Service.Coordinator.report a sa) in
+  (* coordinator A is dead; B adopts the checkpoint taken at [kill_at] *)
+  let b = mk_coord () in
+  let r0 = Obs.Clock.now_s () in
+  let sb = ok (Service.Coordinator.restore_stream b (Snapshot.decode_stream !last_blob)) in
+  let t_restore = Obs.Clock.now_s () -. r0 in
+  feed b sb kill_at total;
+  let fin = ok (Service.Coordinator.report b sb) in
+  let si = ok (Service.Coordinator.stream_info b sb) in
+  ok (Service.Coordinator.close b sb);
+  let identical =
+    String.equal fin.Service.Coordinator.body ref_report.Service.Coordinator.body
+  in
+  let lats = List.sort compare !ckpt_lat in
+  let p50 = List.nth lats (List.length lats / 2) in
+  let kill_bytes = String.length !last_blob in
+  let kill_report_bytes = String.length kill_report.Service.Coordinator.body in
+  let per_alarm_first = float_of_int !first_bytes /. float_of_int ckpt_every in
+  let per_alarm_kill = float_of_int kill_bytes /. float_of_int kill_at in
+  Printf.printf "%10s %10s %12s %14s %13s %10s\n" "alarms" "kill-at" "ckpt-p50"
+    "snap@first" "snap@kill" "identical";
+  Printf.printf "%10d %10d %10.1fus %13dB %12dB %10b\n" total kill_at (p50 *. 1e6)
+    !first_bytes kill_bytes identical;
+  Printf.printf
+    "(reference run %.2fs; restore %.1fms; snapshot %.1f -> %.1f B/alarm, vs %dB of \
+     rendered\n diagnosis at the kill point; restored stream finished with %d live \
+     states,\n %d explanations, %dB of final report)\n"
+    t_ref (t_restore *. 1e3) per_alarm_first per_alarm_kill kill_report_bytes
+    si.Service.Coordinator.si_live_states fin.Service.Coordinator.explanations
+    (String.length fin.Service.Coordinator.body);
+  e22_rows :=
+    [ ("E22/long_alarms", float_of_int total);
+      ("E22/kill_at", float_of_int kill_at);
+      ("E22/checkpoint_p50_us", p50 *. 1e6);
+      ("E22/snapshot_bytes_first", float_of_int !first_bytes);
+      ("E22/snapshot_bytes_kill", float_of_int kill_bytes);
+      ("E22/snapshot_bytes_per_alarm", per_alarm_kill);
+      ("E22/kill_report_bytes", float_of_int kill_report_bytes);
+      ("E22/restore_s", t_restore);
+      ("E22/final_report_bytes", float_of_int (String.length fin.Service.Coordinator.body));
+      ("E22/final_identical", if identical then 1. else 0.) ];
+  if not identical then
+    failwith "E22: restored final report differs from the uninterrupted run";
+  if ci && per_alarm_kill > 1.5 *. per_alarm_first then
+    failwith
+      (Printf.sprintf
+         "E22: snapshot grew superlinearly (%.1f B/alarm at the first checkpoint, %.1f \
+          at the kill point) — compaction regression"
+         per_alarm_first per_alarm_kill);
+  if ci && kill_bytes > kill_report_bytes then
+    failwith
+      (Printf.sprintf
+         "E22: snapshot (%dB) outgrew the rendered diagnosis at the same prefix (%dB)"
+         kill_bytes kill_report_bytes)
+
+(* ------------------------------------------------------------------ *)
 (* bechamel timings                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1077,6 +1197,107 @@ let metrics_section stats_json_file =
     Printf.printf "(JSON snapshot written to %s)\n" path
 
 (* ------------------------------------------------------------------ *)
+(* determinism digests and --check-baseline                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A handful of cheap, fully deterministic end-to-end artifacts, hashed:
+   the rendered diagnosis of the running example and its wire configs
+   frame, the Figure 3 program text, and — over the E21 cycle net at a
+   1k-alarm prefix — the online report plus the report of a checkpoint →
+   restore roundtrip. Every run records them in BENCH_diag.json's
+   "digests" section; [--check-baseline] recomputes them in a fresh
+   process and fails on any drift, so an accidental change to term
+   construction, canonical ordering, report rendering, or the snapshot
+   codec trips the build before a human has to eyeball a diff. (The raw
+   checkpoint frame is deliberately not digested: its node order follows
+   hash-cons tags, which depend on process history — only its *meaning*
+   is deterministic, which is what the roundtrip report pins.) *)
+let output_digests () =
+  let net = running_net () in
+  let d = (Diagnoser.diagnose net (alarms [ ("b", "p1"); ("a", "p2"); ("c", "p1") ]))
+            .Diagnoser.diagnosis
+  in
+  let frame = Wire.encode_configs (Wire.encoder ()) (List.map Term.Set.elements d) in
+  let cycle = Petri.Net.binarize (e21_net ()) in
+  let o = Online.start cycle in
+  for k = 0 to 999 do
+    Online.observe o (e21_alarm k)
+  done;
+  let stream_report = Report.to_string cycle (Online.diagnosis o) in
+  let restored = Online.restore cycle (Online.checkpoint o) in
+  let restored_report = Report.to_string cycle (Online.diagnosis restored) in
+  Online.release restored;
+  Online.release o;
+  let hex s = Digest.to_hex (Digest.string s) in
+  [ ("running/report", hex (Report.to_string net d));
+    ("running/configs_frame", hex frame);
+    ("fig3/program", hex (Dprogram.to_string (Dprogram.figure3 ())));
+    ("cycle1k/report", hex stream_report);
+    ("cycle1k/restored_report", hex restored_report) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* the baseline's digests, without a JSON parser: the digests section
+   holds the file's only string-valued fields, so collecting every
+   "key": "value" pair is exact *)
+let baseline_digests path =
+  let s = read_file path in
+  let n = String.length s in
+  let read_string i =
+    let j = String.index_from s (i + 1) '"' in
+    (String.sub s (i + 1) (j - i - 1), j + 1)
+  in
+  let pairs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let key, j = read_string !i in
+      let k = ref j in
+      while !k < n && (s.[!k] = ' ' || s.[!k] = ':') do
+        incr k
+      done;
+      if !k < n && s.[!k] = '"' then begin
+        let v, j' = read_string !k in
+        pairs := (key, v) :: !pairs;
+        i := j'
+      end
+      else i := j
+    end
+    else incr i
+  done;
+  List.rev !pairs
+
+let check_baseline path =
+  let current = output_digests () in
+  let baseline = baseline_digests path in
+  Printf.printf "determinism digests vs %s\n" path;
+  Printf.printf "%-26s %-34s %s\n" "artifact" "current" "baseline";
+  let drift = ref 0 in
+  List.iter
+    (fun (name, dg) ->
+      match List.assoc_opt name baseline with
+      | Some b when String.equal b dg -> Printf.printf "%-26s %-34s ok\n" name dg
+      | Some b ->
+        incr drift;
+        Printf.printf "%-26s %-34s DRIFT (was %s)\n" name dg b
+      | None ->
+        incr drift;
+        Printf.printf "%-26s %-34s MISSING from baseline\n" name dg)
+    current;
+  if !drift > 0 then begin
+    Printf.eprintf
+      "bench: %d digest(s) drifted from %s — if the change is deliberate, regenerate \
+       the baseline with a full bench run\n"
+      !drift path;
+    exit 1
+  end;
+  Printf.printf "all %d digests match\n" (List.length current)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_diag.json: the perf-trajectory snapshot                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1090,7 +1311,7 @@ let key_counters =
     "qsq.facts_derived"; "term.interned"; "term.hashcons_hits";
     "online.gc_reclaimed" ]
 
-let write_bench_json path (times : (string * float) list) =
+let write_bench_json path (times : (string * float) list) digests =
   let buf = Buffer.create 1024 in
   let fields to_field l =
     String.concat ",\n" (List.map (fun x -> "    " ^ to_field x) l)
@@ -1098,6 +1319,9 @@ let write_bench_json path (times : (string * float) list) =
   Buffer.add_string buf "{\n  \"experiments\": {\n";
   Buffer.add_string buf
     (fields (fun (id, dt) -> Printf.sprintf "%S: %.6f" id dt) times);
+  Buffer.add_string buf "\n  },\n  \"digests\": {\n";
+  Buffer.add_string buf
+    (fields (fun (name, dg) -> Printf.sprintf "%S: %S" name dg) digests);
   Buffer.add_string buf "\n  },\n  \"counters\": {\n";
   Buffer.add_string buf
     (fields (fun name -> Printf.sprintf "%S: %d" name (counter_now name)) key_counters);
@@ -1124,16 +1348,22 @@ let () =
     Option.value ~default:"BENCH_diag.json" (arg_value "--bench-json")
   in
   let only = arg_value "--only" in
+  if Array.exists (fun a -> a = "--check-baseline") Sys.argv then begin
+    check_baseline (Option.value ~default:"BENCH_diag.json" (arg_value "--baseline"));
+    exit 0
+  end;
   let experiments =
     if ci then
       [ ("E18", fun () -> e18 ~ci:true ()); ("E19", fun () -> e19 ~ci:true ());
-        ("E20", fun () -> e20 ~ci:true ()); ("E21", fun () -> e21 ~ci:true ()) ]
+        ("E20", fun () -> e20 ~ci:true ()); ("E21", fun () -> e21 ~ci:true ());
+        ("E22", fun () -> e22 ~ci:true ()) ]
     else
       [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
         ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
         ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
         ("E17", e17); ("E18", fun () -> e18 ()); ("E19", fun () -> e19 ());
-        ("E20", fun () -> e20 ()); ("E21", fun () -> e21 ()) ]
+        ("E20", fun () -> e20 ()); ("E21", fun () -> e21 ());
+        ("E22", fun () -> e22 ()) ]
   in
   let experiments =
     match only with
@@ -1149,6 +1379,8 @@ let () =
       experiments
   in
   metrics_section stats_json_file;
-  write_bench_json bench_json_file (times @ !e19_times @ !e20_rows @ !e21_rows);
+  write_bench_json bench_json_file
+    (times @ !e19_times @ !e20_rows @ !e21_rows @ !e22_rows)
+    (output_digests ());
   if not (no_timings || ci) then timings ();
   Printf.printf "\n%s\nAll experiments completed.\n" line

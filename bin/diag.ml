@@ -498,17 +498,35 @@ let fuzz_cmd =
 (* ---------------- serve ---------------- *)
 
 let serve_cmd =
-  let run socket once quantum stream_budget stats trace =
+  let run socket once quantum stream_budget ckpt_dir ckpt_every recover stats trace =
     enable_trace trace;
+    (match ckpt_every with
+    | Some n when n < 1 ->
+      Printf.eprintf "error: --checkpoint-every must be >= 1\n";
+      exit 2
+    | Some _ when ckpt_dir = None ->
+      Printf.eprintf "error: --checkpoint-every needs --checkpoint-dir\n";
+      exit 2
+    | _ -> ());
+    if recover && ckpt_dir = None then begin
+      Printf.eprintf "error: --recover needs --checkpoint-dir\n";
+      exit 2
+    end;
     let coord =
       match stream_budget with
       | Some stream_max_states ->
         Service.Coordinator.create ~quantum ~stream_max_states ()
       | None -> Service.Coordinator.create ~quantum ()
     in
+    let checkpoints =
+      Option.map
+        (fun dir ->
+          { Service.Serve.store = Snapshot.open_store dir; every = ckpt_every; recover })
+        ckpt_dir
+    in
     (match socket with
-    | None -> Service.Serve.stdio coord
-    | Some path -> Service.Serve.socket coord ~path ~once);
+    | None -> Service.Serve.stdio ?checkpoints coord
+    | Some path -> Service.Serve.socket ?checkpoints coord ~path ~once);
     print_stats stats
   in
   let socket =
@@ -534,11 +552,31 @@ let serve_cmd =
                    stream passing it is marked failed (the per-stream BUDGET \
                    argument of the `stream' command overrides this).")
   in
+  let ckpt_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"PATH"
+             ~doc:"Attach a snapshot store (created if missing): enables the \
+                   checkpoint/restore/recover verbs and flushes live streams \
+                   there on SIGINT/SIGTERM.")
+  in
+  let ckpt_every =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Auto-checkpoint every streaming session each time its alarm \
+                   count reaches a multiple of N (needs --checkpoint-dir).")
+  in
+  let recover =
+    Arg.(value & flag
+         & info [ "recover" ]
+             ~doc:"As tenants register, restore their sessions from the \
+                   snapshot store (needs --checkpoint-dir).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-tenant diagnosis service (line protocol; see \
              Service.Serve).")
-    Term.(const run $ socket $ once $ quantum $ stream_budget $ stats_arg $ trace_arg)
+    Term.(const run $ socket $ once $ quantum $ stream_budget $ ckpt_dir $ ckpt_every
+          $ recover $ stats_arg $ trace_arg)
 
 (* ---------------- generate ---------------- *)
 

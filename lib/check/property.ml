@@ -413,6 +413,77 @@ let online_gc_equivalence i =
   in
   go 1 (Petri.Alarm.to_pairs i.alarms)
 
+(* --------- checkpoint/restore resumes byte-identically ---------- *)
+
+(* A restored engine must be indistinguishable from the uninterrupted one
+   for every future alarm: same rendered diagnosis and the same report
+   frame bytes (the service's encode_configs over a fresh connection), at
+   every later prefix. Checkpointing at EVERY prefix (the empty one
+   included) and replaying the remainder covers mid-diamond frontiers,
+   budget carry-over, and — with GC on and off — the compaction path
+   where inert nodes are dropped from the snapshot. *)
+let report_frame o =
+  Wire.encode_configs (Wire.encoder ()) (List.map Term.Set.elements (Online.diagnosis o))
+
+let rec drop k l =
+  if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let checkpoint_restore_eq i =
+  let net = bnet i in
+  let pairs = Petri.Alarm.to_pairs i.alarms in
+  let n = List.length pairs in
+  let check_gc gc =
+    let o = Online.start ~gc net in
+    let trace = ref [] in
+    let record () =
+      trace :=
+        (Canon.diagnosis_to_string (Online.diagnosis o), report_frame o, Online.checkpoint o)
+        :: !trace
+    in
+    record ();
+    List.iter
+      (fun a ->
+        Online.observe o a;
+        record ())
+      pairs;
+    Online.release o;
+    let trace = Array.of_list (List.rev !trace) in
+    let check_from k =
+      let _, _, snap = trace.(k) in
+      let r = Online.restore net snap in
+      let finish res =
+        Online.release r;
+        res
+      in
+      let compare_at j =
+        let dj, fj, _ = trace.(j) in
+        let d = Canon.diagnosis_to_string (Online.diagnosis r) in
+        if d <> dj then
+          Some
+            (failf "gc:%b restore@%d prefix %d: diagnosis differs:\n%s\nvs\n%s" gc k j d dj)
+        else if report_frame r <> fj then
+          Some (failf "gc:%b restore@%d prefix %d: report frame bytes differ" gc k j)
+        else None
+      in
+      match compare_at k with
+      | Some f -> finish f
+      | None ->
+        let rec go j = function
+          | [] -> finish Pass
+          | a :: rest -> (
+            Online.observe r a;
+            match compare_at j with Some f -> finish f | None -> go (j + 1) rest)
+        in
+        go (k + 1) (drop k pairs)
+    in
+    let rec loop k =
+      if k > n then Pass
+      else match check_from k with Fail _ as f -> f | Pass -> loop (k + 1)
+    in
+    loop 0
+  in
+  match check_gc true with Fail _ as f -> f | Pass -> check_gc false
+
 (* --------------- seed determinism (sim.mli contract) ------------ *)
 
 let dqsq_run i =
@@ -472,6 +543,9 @@ let all =
       online_eq_batch_prefix;
     mk "online-gc-equivalence" "prefix GC is invisible (diagnosis byte-identical)"
       online_gc_equivalence;
+    mk "checkpoint-restore-eq"
+      "durability (checkpoint -> restore resumes byte-identically)"
+      checkpoint_restore_eq;
     mk "codec-roundtrip" "wire codec: service reports == in-memory reports"
       codec_roundtrip;
     mk "seed-determinism" "sim.mli: same seed and policy, same run" seed_determinism;

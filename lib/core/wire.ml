@@ -27,6 +27,15 @@ let bytes_sent_c = Obs.Metrics.counter "wire.bytes_sent"
 let bytes_recv_c = Obs.Metrics.counter "wire.bytes_recv"
 let frames_c = Obs.Metrics.counter "wire.frames"
 
+(* Channel codec tables are append-only and live as long as their
+   connection: one entry per distinct symbol/term that ever crossed it.
+   These gauges count entries across every live half (encoders and
+   decoders alike), so unbounded growth — a service churning fresh
+   Skolem spines through one long-lived connection — shows up in
+   `serve` stats and --stats=json instead of only in RSS. *)
+let table_syms_g = Obs.Metrics.gauge "wire.table_symbols"
+let table_terms_g = Obs.Metrics.gauge "wire.table_terms"
+
 exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
@@ -139,13 +148,15 @@ let put_symbol e buf s =
     put_uvarint buf 0;
     put_string buf (Symbol.name s);
     Hashtbl.add e.e_syms s e.e_nsyms;
-    e.e_nsyms <- e.e_nsyms + 1
+    e.e_nsyms <- e.e_nsyms + 1;
+    Obs.Metrics.add_gauge table_syms_g 1
 
 let get_symbol d r =
   let k = get_uvarint r in
   if k = 0 then begin
     let s = Symbol.intern (get_string r) in
     push_sym d s;
+    Obs.Metrics.add_gauge table_syms_g 1;
     s
   end
   else begin
@@ -172,7 +183,8 @@ let rec put_term e buf t =
       put_uvarint buf (List.length args);
       List.iter (put_term e buf) args);
     Hashtbl.add e.e_terms (Term.tag t) e.e_nterms;
-    e.e_nterms <- e.e_nterms + 1
+    e.e_nterms <- e.e_nterms + 1;
+    Obs.Metrics.add_gauge table_terms_g 1
 
 let rec get_term d r =
   let k = get_uvarint r in
@@ -193,6 +205,7 @@ let rec get_term d r =
       | b -> corrupt "bad term tag %d" b
     in
     push_term d t;
+    Obs.Metrics.add_gauge table_terms_g 1;
     t
   end
 
@@ -315,6 +328,7 @@ let rec get_message d r : Message.t =
 let k_message = 0
 let k_configs = 1
 let k_ack = 2
+let k_snapshot = 3
 
 let frame e kind put_body =
   Buffer.clear e.e_buf;
@@ -348,6 +362,9 @@ let unframe d kind get_body (s : string) =
 
 let encode_message e m = frame e k_message (fun buf -> put_message e buf m)
 let decode_message d s = unframe d k_message get_message s
+
+let encode_snapshot e put_body = frame e k_snapshot put_body
+let decode_snapshot d s get_body = unframe d k_snapshot (fun _ r -> get_body r) s
 
 let encode_configs e (configs : Term.t list list) =
   frame e k_configs (fun buf ->

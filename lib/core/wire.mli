@@ -12,7 +12,10 @@
     to the encoded ones.
 
     Counters [wire.bytes_sent], [wire.bytes_recv] and [wire.frames] in
-    the default {!Obs.Metrics} registry account every frame. *)
+    the default {!Obs.Metrics} registry account every frame, and gauges
+    [wire.table_symbols] / [wire.table_terms] count codec-table entries
+    across all live connection halves — unbounded channel-table growth
+    is visible in [serve stats] instead of only in RSS. *)
 
 open Datalog
 
@@ -48,6 +51,35 @@ val encode_configs : encoder -> Term.t list list -> string
     [Canon.config] sets to lists and back). *)
 
 val decode_configs : decoder -> string -> Term.t list list
+
+(** {2 Snapshot frames and raw primitives}
+
+    The [snapshot] frame kind carries serialized engine state (see
+    [Snapshot] and [Online.checkpoint]). The body layout is owned by the
+    caller; these primitives expose the codec's varint/string encoding
+    and — crucially — its definition-or-backref term tables, so a
+    snapshot shares each hash-consed spine across the whole frame and
+    restore re-interns to physical equality. *)
+
+type reader
+(** Cursor over a received frame's bytes. *)
+
+val put_uvarint : Buffer.t -> int -> unit
+val put_string : Buffer.t -> string -> unit
+val put_term : encoder -> Buffer.t -> Term.t -> unit
+
+val get_uvarint : reader -> int
+val get_string : reader -> string
+val get_term : decoder -> reader -> Term.t
+
+val encode_snapshot : encoder -> (Buffer.t -> unit) -> string
+(** [encode_snapshot e put_body] builds a length-prefixed snapshot frame
+    whose body is written by [put_body] (terms via [put_term e]). *)
+
+val decode_snapshot : decoder -> string -> (reader -> 'a) -> 'a
+(** [decode_snapshot d s get_body] validates the frame envelope (length,
+    version, kind, exact consumption) and hands the body to [get_body]
+    (terms via [get_term d]). Raises {!Corrupt} on malformed input. *)
 
 val wrapped_sizer :
   ?verify:bool -> unit -> src:string -> dst:string -> Message.t Network.Termination.wrapped -> int

@@ -50,6 +50,13 @@ let name id =
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Name order, not id order: two processes that intern the same symbols in
+   different orders (different tenant load order, different experiment
+   prefix) assign different ids, so id order would leak interning history
+   into every "canonical" sort built on it. Equal ids short-circuit without
+   touching the table. *)
+let compare_name (a : t) (b : t) = if a = b then 0 else String.compare (name a) (name b)
 let hash (a : t) = a
 let pp ppf id = Format.pp_print_string ppf (name id)
 

@@ -13,7 +13,18 @@ val name : t -> string
     @raise Invalid_argument on an id that was never interned. *)
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Intern-id order: O(1), but it follows interning history, so it is NOT
+    stable across processes that intern symbols in different orders. Fine
+    for internal sets and indexes; any output that must be byte-identical
+    across processes orders by {!compare_name} instead. *)
+
+val compare_name : t -> t -> int
+(** Lexicographic order on the interned strings — independent of interning
+    history. The comparison every canonical output order bottoms out in
+    ({!Datalog.Term.compare_structural}). *)
+
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 

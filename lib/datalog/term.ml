@@ -126,21 +126,24 @@ let app f args = capp (Symbol.intern f) args
 let compare a b = Int.compare a.tag b.tag
 
 (** Structural order (constants < variables < applications, then by symbol
-    and arguments); independent of interning history, so deterministic
-    output paths — report rendering, canonical diagnosis order, sorted
-    dumps — stay byte-identical across runs. *)
+    {e name} and arguments); independent of interning history, so
+    deterministic output paths — report rendering, canonical diagnosis
+    order, sorted dumps — stay byte-identical across runs AND across
+    processes that interned symbols in different orders (a warm server vs
+    a fresh one). [Symbol.compare] (id order) must never appear here: ids
+    follow interning history. *)
 let rec compare_structural a b =
   if a == b then 0
   else
     match a.node, b.node with
-    | Const x, Const y -> Symbol.compare x y
+    | Const x, Const y -> Symbol.compare_name x y
     | Const _, (Var _ | App _) -> -1
     | Var _, Const _ -> 1
     | Var x, Var y -> String.compare x y
     | Var _, App _ -> -1
     | App _, (Const _ | Var _) -> 1
     | App (f, xs), App (g, ys) ->
-      let c = Symbol.compare f g in
+      let c = Symbol.compare_name f g in
       if c <> 0 then c else List.compare compare_structural xs ys
 
 let rec vars_fold f acc t =

@@ -44,6 +44,7 @@
      [events_materialized] boundaries, where canonical order matters. *)
 
 open Datalog
+module Wire = Dqsq.Wire
 
 exception State_budget_exceeded of { states : int; alarms_consumed : int }
 
@@ -173,6 +174,7 @@ type t = {
   mutable released : bool;
   max_states : int;
   gc_enabled : bool;
+  net_digest : string;  (** fingerprint of the supervised net, for {!restore} *)
 }
 
 let key_of positions cut =
@@ -322,7 +324,33 @@ let reclaim t n =
   List.iter (fun (ev, _) -> ref_decr t.ref_events live_events_gauge (Term.tag ev)) n.succs;
   n.succs <- []
 
-let start ?(max_states = 2_000_000) ?(gc = true) (net : Petri.Net.t) : t =
+(* Structural fingerprint of a net: restore refuses a snapshot taken
+   against a net with different peers, transitions, or marking. Node ids
+   are what name terms, so this is exactly the identity the frontier's
+   cuts and events depend on. *)
+let net_fingerprint (net : Petri.Net.t) =
+  let b = Buffer.create 512 in
+  let str s =
+    Wire.put_uvarint b (String.length s);
+    Buffer.add_string b s
+  in
+  List.iter str (Petri.Net.peers net);
+  Buffer.add_char b 'T';
+  List.iter
+    (fun (tr : Petri.Net.transition) ->
+      str tr.Petri.Net.t_id;
+      str tr.Petri.Net.t_peer;
+      str tr.Petri.Net.t_alarm;
+      Wire.put_uvarint b (List.length tr.Petri.Net.t_pre);
+      List.iter str tr.Petri.Net.t_pre;
+      Wire.put_uvarint b (List.length tr.Petri.Net.t_post);
+      List.iter str tr.Petri.Net.t_post)
+    (Petri.Net.transitions net);
+  Buffer.add_char b 'M';
+  Petri.Net.String_set.iter str (Petri.Net.marking net);
+  Digest.string (Buffer.contents b)
+
+let peer_tables (net : Petri.Net.t) =
   let peers = Array.of_list (Petri.Net.peers net) in
   let peer_index = Hashtbl.create 8 in
   Array.iteri (fun i p -> Hashtbl.replace peer_index p i) peers;
@@ -336,6 +364,10 @@ let start ?(max_states = 2_000_000) ?(gc = true) (net : Petri.Net.t) : t =
         let prev = Option.value ~default:[] (Hashtbl.find_opt by_label k) in
         Hashtbl.replace by_label k (prev @ [ tr ]))
     (Petri.Net.transitions net);
+  (peers, peer_index, by_label)
+
+let start ?(max_states = 2_000_000) ?(gc = true) (net : Petri.Net.t) : t =
+  let peers, peer_index, by_label = peer_tables net in
   let initial_cut =
     Petri.Net.String_set.fold
       (fun place acc ->
@@ -363,6 +395,7 @@ let start ?(max_states = 2_000_000) ?(gc = true) (net : Petri.Net.t) : t =
       released = false;
       max_states;
       gc_enabled = gc;
+      net_digest = net_fingerprint net;
     }
   in
   Int_map.iter (fun tag cd -> Hashtbl.replace t.conds_tbl tag cd) initial_cut;
@@ -436,3 +469,280 @@ let release t =
     Obs.Metrics.add_gauge live_events_gauge (-(Hashtbl.length t.ref_events));
     Obs.Metrics.add_gauge live_conds_gauge (-(Hashtbl.length t.ref_conds))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A checkpoint serializes the *live* frontier only. The inert nodes the
+   table additionally holds when GC is off can never be extended (their
+   extension sets are final), reached (no future edge can land on a
+   lagging-everywhere key), or completed (a complete node is caught up at
+   every slot), so dropping them — and every event/condition term only
+   they reference — changes no future diagnosis. That drop IS the
+   compaction: snapshot size is bounded by the live frontier, not the
+   alarm prefix, even though the in-memory materialized views are
+   monotone.
+
+   Cross-process identity: hash-cons tags are process-local, so the
+   snapshot never stores a tag. Terms cross through the wire codec's
+   definition-or-backref tables (shared spines once per frame) and are
+   re-interned on restore; tag-keyed structures — cuts, node keys,
+   Tag_set payloads, refcounts — are rebuilt from the re-interned terms,
+   and the commutative config hash is recomputed from [Term.hash], which
+   is structural and deterministic.
+
+   Nothing else is pending between alarms: after [observe]'s drain the
+   work queue is empty, every lagging slot's extension has already run
+   (exactly-once invariant), and all payloads have flowed. Restore is
+   therefore purely structural — it must NOT queue extensions.
+
+   Words are serialized only from [base = min over live nodes of
+   positions.(pi)]: an extension at slot [pi] only ever reads
+   [syms.(positions.(pi))] of some node, and every future node's
+   positions dominate some live node's, so indices below [base] are
+   never read again. *)
+
+let snapshot_sub_engine = 0
+
+(* A configuration is the causal closure of its maximal events, and each
+   event term structurally embeds its causal past (its pre-conditions
+   name their producing events, recursively down to the root). So a
+   config crosses the wire as its maximal events only — the handful of
+   per-token tips, not the prefix-long closure — and restore walks the
+   term structure to rebuild the full set. The shared spine below the
+   tips is defined once by the codec's backref tables regardless. *)
+let config_maximal t c =
+  let covered = Hashtbl.create 16 in
+  Tag_set.fold
+    (fun tag () ->
+      match Term.view (Hashtbl.find t.events_tbl tag) with
+      | Term.App (_, _ :: conds) ->
+        List.iter
+          (fun cond ->
+            match Term.view cond with
+            | Term.App (_, [ parent; _ ]) -> Hashtbl.replace covered (Term.tag parent) ()
+            | _ -> ())
+          conds
+      | _ -> ())
+    c ();
+  Tag_set.fold
+    (fun tag acc ->
+      if Hashtbl.mem covered tag then acc else Hashtbl.find t.events_tbl tag :: acc)
+    c []
+
+(* rebuild (hash, closure) from the maximal events; iterative — causal
+   spines are as deep as the alarm prefix is long *)
+let config_of_maximal t evs =
+  let h = ref 0 and c = ref Tag_set.empty in
+  let stack = ref evs in
+  let push ev = stack := ev :: !stack in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | ev :: rest ->
+      stack := rest;
+      let tag = Term.tag ev in
+      if not (Tag_set.mem tag !c) then begin
+        Hashtbl.replace t.events_tbl tag ev;
+        h := mix_event !h ev;
+        c := Tag_set.add tag !c;
+        match Term.view ev with
+        | Term.App (_, _ :: conds) ->
+          List.iter
+            (fun cond ->
+              match Term.view cond with
+              | Term.App (_, [ parent; _ ]) when not (Term.equal parent Canon.root_term) ->
+                push parent
+              | _ -> ())
+            conds
+        | _ -> ()
+      end
+  done;
+  (!h, !c)
+
+let checkpoint (t : t) : string =
+  if t.released then invalid_arg "Online.checkpoint: released instance";
+  let live = ref [] in
+  Tbl.iter (fun _ n -> if n.cu > 0 then live := n :: !live) t.table;
+  let nodes = Array.of_list !live in
+  let nnodes = Array.length nodes in
+  let index = Tbl.create (max 16 nnodes) in
+  Array.iteri (fun i n -> Tbl.add index n.key i) nodes;
+  let npeers = Array.length t.peers in
+  let bases =
+    Array.init npeers (fun pi ->
+        Array.fold_left (fun acc n -> min acc n.positions.(pi)) t.words.(pi).len nodes)
+  in
+  let e = Wire.encoder () in
+  Wire.encode_snapshot e (fun buf ->
+      Wire.put_uvarint buf snapshot_sub_engine;
+      Wire.put_string buf t.net_digest;
+      Wire.put_uvarint buf npeers;
+      Array.iter (Wire.put_string buf) t.peers;
+      Wire.put_uvarint buf (if t.gc_enabled then 1 else 0);
+      Wire.put_uvarint buf t.max_states;
+      Wire.put_uvarint buf t.alarms_seen;
+      Wire.put_uvarint buf t.unknown_alarms;
+      Wire.put_uvarint buf t.states_explored;
+      Wire.put_uvarint buf t.reclaimed;
+      Array.iteri
+        (fun pi (w : word) ->
+          Wire.put_uvarint buf w.len;
+          Wire.put_uvarint buf bases.(pi);
+          for i = bases.(pi) to w.len - 1 do
+            Wire.put_string buf w.syms.(i)
+          done)
+        t.words;
+      Wire.put_uvarint buf nnodes;
+      (* pass 1: node cores (positions, cut, config payloads as terms) *)
+      Array.iter
+        (fun n ->
+          Array.iter (Wire.put_uvarint buf) n.positions;
+          Wire.put_uvarint buf (Int_map.cardinal n.cut);
+          Int_map.iter (fun _ cd -> Wire.put_term e buf cd) n.cut;
+          Wire.put_uvarint buf (List.length n.configs);
+          List.iter
+            (fun (_, c) ->
+              let tips = config_maximal t c in
+              Wire.put_uvarint buf (List.length tips);
+              List.iter (Wire.put_term e buf) tips)
+            n.configs)
+        nodes;
+      (* pass 2: edges by node index — a live node's successors are all
+         live (a dead node's parents are dead), so every child has an
+         index *)
+      Array.iter
+        (fun n ->
+          Wire.put_uvarint buf (List.length n.succs);
+          List.iter
+            (fun (ev, child) ->
+              Wire.put_term e buf ev;
+              Wire.put_uvarint buf (Tbl.find index child.key))
+            n.succs)
+        nodes)
+
+let read_list n f =
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
+  go n []
+
+let restore ?max_states (net : Petri.Net.t) (blob : string) : t =
+  let d = Wire.decoder () in
+  Wire.decode_snapshot d blob @@ fun r ->
+  (match Wire.get_uvarint r with
+  | 0 -> ()
+  | k -> raise (Wire.Corrupt (Printf.sprintf "unknown snapshot sub-kind %d" k)));
+  let digest = Wire.get_string r in
+  if not (String.equal digest (net_fingerprint net)) then
+    raise (Wire.Corrupt "snapshot was taken against a different net");
+  let peers, peer_index, by_label = peer_tables net in
+  let npeers = Wire.get_uvarint r in
+  if npeers <> Array.length peers then raise (Wire.Corrupt "snapshot peer count mismatch");
+  List.iteri
+    (fun i p ->
+      if not (String.equal p peers.(i)) then raise (Wire.Corrupt "snapshot peer mismatch"))
+    (read_list npeers (fun () -> Wire.get_string r));
+  let gc_enabled = Wire.get_uvarint r <> 0 in
+  let saved_max_states = Wire.get_uvarint r in
+  let alarms_seen = Wire.get_uvarint r in
+  let unknown_alarms = Wire.get_uvarint r in
+  let states_explored = Wire.get_uvarint r in
+  let reclaimed = Wire.get_uvarint r in
+  let words =
+    Array.init npeers (fun _ -> { syms = [||]; len = 0 })
+  in
+  for pi = 0 to npeers - 1 do
+    let len = Wire.get_uvarint r in
+    let base = Wire.get_uvarint r in
+    if base > len then raise (Wire.Corrupt "snapshot word base exceeds length");
+    let syms = Array.make (max 1 len) "" in
+    for i = base to len - 1 do
+      syms.(i) <- Wire.get_string r
+    done;
+    words.(pi) <- { syms; len }
+  done;
+  let t =
+    {
+      peers;
+      peer_index;
+      by_label;
+      words;
+      table = Tbl.create 256;
+      caught_up = Array.make (max 1 npeers) [];
+      ref_events = Hashtbl.create 256;
+      ref_conds = Hashtbl.create 256;
+      events_tbl = Hashtbl.create 256;
+      conds_tbl = Hashtbl.create 256;
+      live_count = 0;
+      reclaimed;
+      states_explored;
+      alarms_seen;
+      unknown_alarms;
+      released = false;
+      max_states = Option.value ~default:saved_max_states max_states;
+      gc_enabled;
+      net_digest = digest;
+    }
+  in
+  let nnodes = Wire.get_uvarint r in
+  let nodes =
+    Array.of_list
+      (read_list nnodes (fun () ->
+           let positions = Array.make npeers 0 in
+           for pi = 0 to npeers - 1 do
+             let p = Wire.get_uvarint r in
+             if p > words.(pi).len then raise (Wire.Corrupt "snapshot position exceeds word");
+             positions.(pi) <- p
+           done;
+           let ncut = Wire.get_uvarint r in
+           let cut =
+             List.fold_left
+               (fun acc cd ->
+                 Hashtbl.replace t.conds_tbl (Term.tag cd) cd;
+                 Int_map.add (Term.tag cd) cd acc)
+               Int_map.empty
+               (read_list ncut (fun () -> Wire.get_term d r))
+           in
+           let nconfigs = Wire.get_uvarint r in
+           let configs =
+             read_list nconfigs (fun () ->
+                 let ntips = Wire.get_uvarint r in
+                 config_of_maximal t (read_list ntips (fun () -> Wire.get_term d r)))
+           in
+           let total = Array.fold_left ( + ) 0 positions in
+           { positions; total; cut; key = key_of positions cut; configs; succs = []; cu = 0 }))
+  in
+  Array.iter
+    (fun n ->
+      let nsuccs = Wire.get_uvarint r in
+      n.succs <-
+        read_list nsuccs (fun () ->
+            let ev = Wire.get_term d r in
+            let i = Wire.get_uvarint r in
+            if i >= nnodes then raise (Wire.Corrupt "snapshot edge target out of range");
+            Hashtbl.replace t.events_tbl (Term.tag ev) ev;
+            (ev, nodes.(i))))
+    nodes;
+  (* rebuild the derived state: table, caught-up lists (a node is caught
+     up at [pi] iff positions.(pi) = word length — membership is set at
+     birth and only consumed when the word grows), refcounts, gauges *)
+  Array.iter
+    (fun n ->
+      if Tbl.mem t.table n.key then raise (Wire.Corrupt "snapshot has duplicate node keys");
+      Tbl.add t.table n.key n;
+      Array.iteri
+        (fun pi pos ->
+          if pos = words.(pi).len then begin
+            t.caught_up.(pi) <- n :: t.caught_up.(pi);
+            n.cu <- n.cu + 1
+          end)
+        n.positions;
+      if n.cu = 0 then raise (Wire.Corrupt "snapshot node lags at every peer");
+      Int_map.iter (fun tag _ -> ref_incr t.ref_conds live_conds_gauge tag) n.cut;
+      List.iter
+        (fun (ev, _) -> ref_incr t.ref_events live_events_gauge (Term.tag ev))
+        n.succs)
+    nodes;
+  t.live_count <- nnodes;
+  Obs.Metrics.add_gauge live_states_gauge nnodes;
+  t

@@ -83,3 +83,27 @@ val release : t -> unit
     [online.live_*] gauges. Further [observe] calls raise
     [Invalid_argument]; idempotent. The service calls this when a
     streaming session closes or fails. *)
+
+val checkpoint : t -> string
+(** Serialize the live frontier as one wire [snapshot] frame: nodes with
+    their cuts, configuration payloads and successor edges, the word
+    suffixes still reachable by future extensions, and the engine
+    counters. Terms cross through the codec's definition-or-backref
+    tables, so shared Skolem spines are written once per frame. Only
+    {e live} state is written — inert nodes retained when GC is off, and
+    the events/conditions only they reference, are dropped (compaction):
+    snapshot size is bounded by the live frontier, not the alarm prefix.
+    The instance is untouched and keeps running. Raises
+    [Invalid_argument] on a released instance. *)
+
+val restore : ?max_states:int -> Petri.Net.t -> string -> t
+(** Rebuild an engine from a {!checkpoint} frame. Terms are re-interned
+    through the hash-consing constructors and every tag-keyed structure
+    (cuts, node keys, config payload sets, refcounts) is rebuilt from the
+    re-interned terms, so the result behaves identically in a different
+    process: for any future alarms, [diagnosis] and the service report
+    frames are byte-identical to the uninterrupted run's. [max_states]
+    overrides the snapshot's saved budget (the cumulative
+    [states_explored] carries over). The net must be structurally
+    identical to the one the checkpoint was taken against.
+    @raise Dqsq.Wire.Corrupt on malformed input or a net mismatch. *)

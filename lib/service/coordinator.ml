@@ -19,6 +19,7 @@ let active_g = Obs.Metrics.gauge "service.active_sessions"
 let pooled_g = Obs.Metrics.gauge "service.pooled_engines"
 let latency_h = Obs.Metrics.histogram "service.session_latency_us"
 let streams_c = Obs.Metrics.counter "service.streams_started"
+let streams_restored_c = Obs.Metrics.counter "service.streams_restored"
 let stream_alarm_h = Obs.Metrics.histogram "service.stream_alarm_latency_us"
 
 type tenant = {
@@ -409,6 +410,58 @@ let stream_info t sid =
       }
   | Failed m -> errorf "session %d failed: %s" sid m
   | Open | Running _ | Done _ -> errorf "session %d is not a stream" sid
+
+(* Freeze a streaming session: its metadata plus the engine's own
+   checkpoint frame. The stream keeps running — a checkpoint is a read. *)
+let checkpoint_stream t sid =
+  let* s = session t sid in
+  match s.phase with
+  | Streaming st ->
+    Ok
+      {
+        Snapshot.tenant = s.s_tenant.t_name;
+        session = s.id;
+        alarms = Online.alarms_consumed st.online;
+        reports = st.s_reports;
+        wire_bytes = st.s_wire_bytes;
+        peak_live = st.s_peak_live;
+        engine = Online.checkpoint st.online;
+      }
+  | Failed m -> errorf "session %d failed: %s" sid m
+  | Open | Running _ | Done _ -> errorf "session %d is not a stream" sid
+
+(* Thaw an image into a fresh streaming session — on this coordinator or
+   any other holding the same tenant net (migration), or after a process
+   restart (recovery). Session ids are coordinator-local, so the restored
+   stream gets a new one; the engine carries its own state budget. *)
+let restore_stream t (img : Snapshot.stream_image) =
+  let* tn = tenant t img.Snapshot.tenant in
+  match Online.restore tn.net img.Snapshot.engine with
+  | online ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let stream =
+      {
+        online;
+        s_opened_at = Obs.Clock.now_s ();
+        s_reports = img.Snapshot.reports;
+        s_wire_bytes = img.Snapshot.wire_bytes;
+        s_peak_live = max img.Snapshot.peak_live (Online.live_states online);
+        s_last_latency = 0.;
+      }
+    in
+    Hashtbl.add t.sessions id
+      { id; s_tenant = tn; alarms_rev = []; phase = Streaming stream };
+    Obs.Metrics.add_gauge active_g 1;
+    Obs.Metrics.incr streams_restored_c;
+    Ok id
+  | exception Wire.Corrupt m -> errorf "corrupt snapshot: %s" m
+
+let streaming_sessions t =
+  Hashtbl.fold
+    (fun id s acc -> match s.phase with Streaming _ -> id :: acc | _ -> acc)
+    t.sessions []
+  |> List.sort compare
 
 let close t sid =
   let* s = session t sid in

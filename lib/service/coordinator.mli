@@ -114,6 +114,25 @@ val report : t -> int -> (report, string) result
 val stream_info : t -> int -> (stream_info, string) result
 (** Live gauges of a streaming session (errors on non-stream sessions). *)
 
+val checkpoint_stream : t -> int -> (Snapshot.stream_image, string) result
+(** Freeze a streaming session: session metadata plus the engine's
+    {!Diagnosis.Online.checkpoint} frame. The stream keeps running —
+    checkpointing is a read, not a close. *)
+
+val restore_stream : t -> Snapshot.stream_image -> (int, string) result
+(** Thaw an image into a fresh streaming session and return its (new)
+    session id. Works on any coordinator holding the image's tenant with
+    a structurally identical net — the migration and crash-recovery
+    entrypoint. The restored engine produces byte-identical reports to
+    the uninterrupted stream for all future alarms; its state budget is
+    the one saved in the image. Fails on unknown tenants and corrupt or
+    mismatched snapshots (counted by [service.streams_restored] on
+    success). *)
+
+val streaming_sessions : t -> int list
+(** Ids of the live streaming sessions, ascending — what a graceful
+    shutdown flushes to the snapshot store. *)
+
 val close : t -> int -> (unit, string) result
 (** Forget a done, failed, streaming or never-started session; a batch
     engine was already returned to the tenant pool at finalization, a

@@ -169,6 +169,80 @@ let test_online_release () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "observe after release accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* a mid-stream snapshot resumes byte-identically: same diagnosis at the
+   cut point, same counters, and the same diagnosis again after feeding
+   the donor and the restored engine the same suffix *)
+let test_checkpoint_roundtrip () =
+  let net = running_net () in
+  let t = Online.start net in
+  Online.observe t ("b", "p1");
+  Online.observe t ("a", "p2");
+  let snap = Online.checkpoint t in
+  let r = Online.restore net snap in
+  check_diag "restored diagnosis identical" (Online.diagnosis t) (Online.diagnosis r);
+  Alcotest.(check int) "alarm prefix carried" (Online.alarms_consumed t)
+    (Online.alarms_consumed r);
+  Alcotest.(check int) "exploration counter carried" (Online.states_explored t)
+    (Online.states_explored r);
+  Alcotest.(check bool) "restored materialization within the donor's" true
+    (Term.Set.subset (Online.events_materialized r) (Online.events_materialized t));
+  Online.observe t ("c", "p1");
+  Online.observe r ("c", "p1");
+  Alcotest.(check string) "suffix replay byte-identical"
+    (Canon.diagnosis_to_string (Online.diagnosis t))
+    (Canon.diagnosis_to_string (Online.diagnosis r));
+  Online.release t;
+  Online.release r
+
+(* the snapshot carries the live frontier only: even when the donor ran
+   with GC off and its table still holds every inert branch, the restored
+   engine is the compacted one — fewer nodes, fewer materialized terms,
+   the same diagnosis *)
+let test_checkpoint_compacts () =
+  let t = Online.start ~gc:false (gc_net ()) in
+  Online.observe t ("a", "p");
+  Online.observe t ("b", "p");
+  Alcotest.(check int) "no reclamation with GC off" 0 (Online.gc_reclaimed t);
+  let r = Online.restore (gc_net ()) (Online.checkpoint t) in
+  Alcotest.(check int) "only the surviving branch restored" 1 (Online.live_states r);
+  let em_t = Online.events_materialized t and em_r = Online.events_materialized r in
+  Alcotest.(check bool) "strictly fewer terms after compaction" true
+    (Term.Set.subset em_r em_t && Term.Set.cardinal em_r < Term.Set.cardinal em_t);
+  check_diag "diagnosis survives compaction" (Online.diagnosis t) (Online.diagnosis r);
+  Online.release t;
+  Online.release r
+
+let test_restore_wrong_net () =
+  let t = Online.start (running_net ()) in
+  Online.observe t ("b", "p1");
+  let snap = Online.checkpoint t in
+  (match Online.restore (gc_net ()) snap with
+  | exception Dqsq.Wire.Corrupt _ -> ()
+  | _ -> Alcotest.fail "snapshot accepted against a different net");
+  Online.release t
+
+(* a [?max_states] override at restore time counts from the snapshot's
+   carried exploration total, not from zero — budgets span restarts *)
+let test_restore_budget_carry () =
+  let net = running_net () in
+  let t = Online.start net in
+  Online.observe t ("b", "p1");
+  let snap = Online.checkpoint t in
+  let spent = Online.states_explored t in
+  Online.release t;
+  let r = Online.restore ~max_states:spent net snap in
+  (try
+     Online.observe r ("a", "p2");
+     Alcotest.fail "carried state budget not enforced"
+   with Online.State_budget_exceeded { states; alarms_consumed } ->
+     Alcotest.(check int) "states at the trip" spent states;
+     Alcotest.(check int) "alarms consumed counts the snapshot prefix" 2 alarms_consumed);
+  Online.release r
+
 let prop_online_eq_batch =
   QCheck.Test.make ~count:25
     ~name:"online == batch after every prefix (random scenarios)"
@@ -278,6 +352,11 @@ let suite =
         Alcotest.test_case "gc on == gc off" `Quick test_online_gc_equivalent;
         Alcotest.test_case "release" `Quick test_online_release ]
       @ qcheck [ prop_online_eq_batch ] );
+    ( "checkpoint",
+      [ Alcotest.test_case "mid-stream roundtrip" `Quick test_checkpoint_roundtrip;
+        Alcotest.test_case "compacts to the live frontier" `Quick test_checkpoint_compacts;
+        Alcotest.test_case "refuses a different net" `Quick test_restore_wrong_net;
+        Alcotest.test_case "carries the state budget" `Quick test_restore_budget_carry ] );
     ( "report",
       [ Alcotest.test_case "text" `Quick test_report_text;
         Alcotest.test_case "causal order" `Quick test_report_causal_order;

@@ -189,6 +189,131 @@ let test_stream_budget_failure () =
   Alcotest.(check int) "fresh stream diagnoses" 3 r.Coordinator.explanations;
   ok (Coordinator.close coord s2)
 
+(* ------------------------------------------------------------------ *)
+(* Durability: migration, the snapshot store, graceful shutdown       *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let feed coord sid l =
+  List.iter (fun (symbol, peer) -> ok (Coordinator.add_alarm coord sid ~symbol ~peer)) l
+
+(* a stream checkpointed on one coordinator and restored on another (a
+   different process in spirit) must report byte-identically after both
+   consume the same suffix *)
+let test_stream_migration () =
+  let a = Coordinator.create ~quantum:4 () in
+  ignore (ok (Coordinator.add_tenant a ~name:"t" (running_net ())));
+  let sa = ok (Coordinator.open_stream a ~tenant:"t") in
+  feed a sa [ ("b", "p1") ];
+  let img = ok (Coordinator.checkpoint_stream a sa) in
+  Alcotest.(check string) "image names the tenant" "t" img.Snapshot.tenant;
+  Alcotest.(check int) "image counts the prefix" 1 img.Snapshot.alarms;
+  let b = Coordinator.create ~quantum:4 () in
+  ignore (ok (Coordinator.add_tenant b ~name:"t" (running_net ())));
+  let sb = ok (Coordinator.restore_stream b img) in
+  let suffix = [ ("a", "p2"); ("c", "p1") ] in
+  feed a sa suffix;
+  feed b sb suffix;
+  let ra = ok (Coordinator.report a sa) in
+  let rb = ok (Coordinator.report b sb) in
+  Alcotest.(check string) "migrated stream reports byte-identically" ra.Coordinator.body
+    rb.Coordinator.body;
+  Alcotest.(check int) "restored stream is streaming" 1
+    (Coordinator.stats b).Coordinator.streaming;
+  ok (Coordinator.close a sa);
+  ok (Coordinator.close b sb)
+
+(* only streaming sessions checkpoint *)
+let test_checkpoint_rejects_batch () =
+  let coord = Coordinator.create ~quantum:4 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"t" (running_net ())));
+  let sid = start_one coord "t" seq in
+  (match Coordinator.checkpoint_stream coord sid with
+  | Error m -> Alcotest.(check bool) "error names the session" true (contains m "stream")
+  | Ok _ -> Alcotest.fail "batch session checkpointed");
+  ignore (finish_one coord sid);
+  ok (Coordinator.close coord sid)
+
+let test_snapshot_store () =
+  let dir = "tmp_snap_store_test" in
+  rm_rf dir;
+  let store = Snapshot.open_store dir in
+  let coord = Coordinator.create ~quantum:4 () in
+  ignore (ok (Coordinator.add_tenant coord ~name:"t" (running_net ())));
+  let sid = ok (Coordinator.open_stream coord ~tenant:"t") in
+  feed coord sid [ ("b", "p1") ];
+  let img1 = ok (Coordinator.checkpoint_stream coord sid) in
+  let n1 = Snapshot.write store img1 in
+  let back = Snapshot.read store n1 in
+  Alcotest.(check string) "tenant round-trips" img1.Snapshot.tenant back.Snapshot.tenant;
+  Alcotest.(check int) "alarms round-trip" img1.Snapshot.alarms back.Snapshot.alarms;
+  Alcotest.(check string) "engine bytes round-trip" img1.Snapshot.engine
+    back.Snapshot.engine;
+  (* a later checkpoint of the same session prunes the earlier file *)
+  feed coord sid [ ("a", "p2") ];
+  let n2 = Snapshot.write store (ok (Coordinator.checkpoint_stream coord sid)) in
+  Alcotest.(check bool) "old snapshot pruned" false
+    (Sys.file_exists (Filename.concat dir n1));
+  (* scan returns the surviving image and skips torn files *)
+  let garbage = open_out (Filename.concat dir "stream-7-3.snap") in
+  output_string garbage "not a snapshot";
+  close_out garbage;
+  (match Snapshot.scan store with
+  | [ (name, img) ] ->
+    Alcotest.(check string) "scan finds the live snapshot" n2 name;
+    Alcotest.(check int) "at the latest prefix" 2 img.Snapshot.alarms
+  | l -> Alcotest.fail (Printf.sprintf "scan returned %d entries" (List.length l)));
+  ok (Coordinator.close coord sid);
+  rm_rf dir
+
+(* SIGTERM while [Serve.socket] blocks in accept: the child must flush its
+   live stream to the store, unlink the socket, and exit cleanly *)
+let test_graceful_shutdown () =
+  let dir = "tmp_snap_shutdown_test" in
+  let path = "tmp_serve_shutdown.sock" in
+  rm_rf dir;
+  (try Sys.remove path with Sys_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let coord = Coordinator.create ~quantum:4 () in
+       ignore (ok (Coordinator.add_tenant coord ~name:"t" (running_net ())));
+       let sid = ok (Coordinator.open_stream coord ~tenant:"t") in
+       feed coord sid [ ("b", "p1") ];
+       let checkpoints =
+         { Serve.store = Snapshot.open_store dir; every = None; recover = false }
+       in
+       Serve.socket ~checkpoints coord ~path ~once:false
+     with _ -> ());
+    (* skip the inherited Alcotest at_exit machinery *)
+    Unix._exit 0
+  | pid ->
+    let deadline = Unix.gettimeofday () +. 10. in
+    while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.02
+    done;
+    Alcotest.(check bool) "server came up" true (Sys.file_exists path);
+    (* let the child reach accept before the signal lands *)
+    Unix.sleepf 0.05;
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0);
+    Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+    (match Snapshot.scan (Snapshot.open_store dir) with
+    | [ (_, img) ] ->
+      Alcotest.(check string) "flushed stream names the tenant" "t" img.Snapshot.tenant;
+      Alcotest.(check int) "at the observed prefix" 1 img.Snapshot.alarms
+    | l ->
+      Alcotest.fail (Printf.sprintf "expected one flushed snapshot, found %d" (List.length l)));
+    rm_rf dir
+
 let () =
   Alcotest.run "service"
     [ ( "coordinator",
@@ -199,4 +324,11 @@ let () =
         [ Alcotest.test_case "per-alarm reports == direct Online" `Quick
             test_stream_matches_direct;
           Alcotest.test_case "state budget fails gracefully" `Quick
-            test_stream_budget_failure ] ) ]
+            test_stream_budget_failure ] );
+      ( "durability",
+        [ Alcotest.test_case "stream migration" `Quick test_stream_migration;
+          Alcotest.test_case "checkpoint rejects batch sessions" `Quick
+            test_checkpoint_rejects_batch;
+          Alcotest.test_case "snapshot store" `Quick test_snapshot_store;
+          Alcotest.test_case "graceful shutdown flushes" `Quick
+            test_graceful_shutdown ] ) ]
