@@ -253,30 +253,45 @@ let parallel_eq_sequential i =
     Qsq_engine.solve ~seed:i.sim_seed ~policy:i.policy ~max_steps
       p.Diagnoser.program ~edb:p.Diagnoser.edb ~query:p.Diagnoser.query
   in
-  let par =
-    Qsq_engine.solve ~max_steps ~jobs:i.jobs p.Diagnoser.program
-      ~edb:p.Diagnoser.edb ~query:p.Diagnoser.query
-  in
   let answer_strings o = List.map Atom.to_string o.Qsq_engine.answers in
-  if answer_strings par <> answer_strings seq then
-    failf "answers differ under %d domains: parallel %d vs sequential %d" i.jobs
-      (List.length par.Qsq_engine.answers)
-      (List.length seq.Qsq_engine.answers)
-  else if
-    not
-      (Canon.equal_diagnosis
-         (Supervisor.diagnosis_of_answers par.Qsq_engine.answers)
-         (Supervisor.diagnosis_of_answers seq.Qsq_engine.answers))
-  then
-    check_equal_diagnosis ~left:"parallel" ~right:"sequential"
-      (Supervisor.diagnosis_of_answers par.Qsq_engine.answers)
-      (Supervisor.diagnosis_of_answers seq.Qsq_engine.answers)
-  else if par.Qsq_engine.total_facts <> seq.Qsq_engine.total_facts then
-    failf "fact totals differ under %d domains: parallel %d vs sequential %d" i.jobs
-      par.Qsq_engine.total_facts seq.Qsq_engine.total_facts
-  else if par.Qsq_engine.facts_per_peer <> seq.Qsq_engine.facts_per_peer then
-    failf "per-peer fact counts differ under %d domains" i.jobs
-  else Pass
+  let compare_run label (par : Qsq_engine.outcome) =
+    if answer_strings par <> answer_strings seq then
+      failf "answers differ under %s: parallel %d vs sequential %d" label
+        (List.length par.Qsq_engine.answers)
+        (List.length seq.Qsq_engine.answers)
+    else if
+      not
+        (Canon.equal_diagnosis
+           (Supervisor.diagnosis_of_answers par.Qsq_engine.answers)
+           (Supervisor.diagnosis_of_answers seq.Qsq_engine.answers))
+    then
+      check_equal_diagnosis ~left:("parallel " ^ label) ~right:"sequential"
+        (Supervisor.diagnosis_of_answers par.Qsq_engine.answers)
+        (Supervisor.diagnosis_of_answers seq.Qsq_engine.answers)
+    else if par.Qsq_engine.total_facts <> seq.Qsq_engine.total_facts then
+      failf "fact totals differ under %s: parallel %d vs sequential %d" label
+        par.Qsq_engine.total_facts seq.Qsq_engine.total_facts
+    else if par.Qsq_engine.facts_per_peer <> seq.Qsq_engine.facts_per_peer then
+      failf "per-peer fact counts differ under %s" label
+    else Pass
+  in
+  let balanced =
+    compare_run
+      (Printf.sprintf "%d domains" i.jobs)
+      (Qsq_engine.solve ~max_steps ~jobs:i.jobs p.Diagnoser.program
+         ~edb:p.Diagnoser.edb ~query:p.Diagnoser.query)
+  in
+  match balanced with
+  | Pass when i.jobs >= 2 ->
+    (* same scenario with every peer homed on domain 0: the other workers
+       only get work by stealing, so this pins the steal path (box
+       migration between domains, mailbox-segment hand-off) to the same
+       byte-identical outcome *)
+    compare_run
+      (Printf.sprintf "%d domains (skewed pinning, forced steals)" i.jobs)
+      (Qsq_engine.solve ~max_steps ~jobs:i.jobs ~pinning:Network.Sim.Skewed
+         p.Diagnoser.program ~edb:p.Diagnoser.edb ~query:p.Diagnoser.query)
+  | r -> r
 
 (* ------------- the service path == the in-memory path ----------- *)
 
@@ -536,7 +551,8 @@ let all =
       dqsq_loss_soundness;
     mk "reference-vs-literal" "condition (iii), two readings"
       ~applies:single_component_per_peer reference_vs_literal;
-    mk "parallel-eq-sequential" "confluence (domain-parallel == sequential dQSQ)"
+    mk "parallel-eq-sequential"
+      "confluence (domain-parallel == sequential dQSQ, incl. forced steals)"
       parallel_eq_sequential;
     mk "online-eq-batch-prefix"
       "incrementality (online == batch after every prefix, any interleaving)"

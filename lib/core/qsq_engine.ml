@@ -40,15 +40,21 @@ let terms_vars terms =
 
 (* Parallel safety: a peer's state is only ever touched from inside that
    peer's message handler (plus setup on the main domain before the run),
-   and {!Sim.run_parallel} pins each peer to one domain — so none of these
-   hashtables or the runtime need locks. Engine-wide counters shared by
-   all handlers are [Atomic.t]. *)
+   and {!Sim.run_parallel} runs a peer's activations on at most one domain
+   at a time, with happens-before hand-offs through the peer's mailbox
+   mutex — so none of these hashtables or the runtime need locks, even
+   though work stealing migrates peers between domains. Engine-wide
+   counters shared by all handlers are [Atomic.t]. *)
 type peer_state = {
   rt : Runtime.t;
   my_rules : (string, Drule.t list) Hashtbl.t;  (** local rules by head relation *)
   demanded : (string * string, unit) Hashtbl.t;  (** (relation, adornment) *)
   delegations_seen : (string, unit) Hashtbl.t;
   subscriptions_sent : (string * Symbol.t, unit) Hashtbl.t;  (** (owner, rel) *)
+  out_tbl : (string, Message.t list ref) Hashtbl.t;
+      (** outbox: protocol messages buffered during the current activation,
+          by destination (contents reversed) *)
+  mutable out_order : string list;  (** destinations, reverse first-touch *)
   steps_c : Obs.Metrics.counter;
       (** messages handled by this peer ([peer.steps.<name>]) — the load
           balance across domains in [diag --stats] *)
@@ -64,6 +70,10 @@ type t = {
   states : (string, peer_state) Hashtbl.t;
   mutable query : Datom.t;
   mutable query_peer : string;
+  batching : bool;
+      (* coalesce each activation's outgoing messages into one
+         {!Message.Batch} envelope per destination (default). Off = the
+         historical eager path, kept for byte-accounting comparisons. *)
   detector : Message.t Ds.t option;
       (* Dijkstra-Scholten termination detection, when requested *)
   delegations : int Atomic.t;
@@ -83,30 +93,73 @@ let subscriptions_c = Obs.Metrics.counter "qsq.subscriptions"
 let fact_messages_c = Obs.Metrics.counter "qsq.fact_messages"
 let envelopes_c = Obs.Metrics.counter "qsq.envelopes"
 
-(* All protocol messages go through here: either plain (the simulator's
-   quiescence is the fixpoint signal) or tracked by the Dijkstra-Scholten
-   detector (the supervisor learns the fixpoint from the protocol itself). *)
-let send t ~src ~dst m =
+(* All protocol messages ultimately go through here: either plain (the
+   simulator's quiescence is the fixpoint signal) or tracked by the
+   Dijkstra-Scholten detector (the supervisor learns the fixpoint from the
+   protocol itself). *)
+let send_now t ~src ~dst m =
   match t.detector with
   | None -> Sim.send t.sim ~src ~dst (Ds.Work m)
   | Some det -> Ds.send_work det t.sim ~src ~dst m
 
-(* Ship [facts] to [dst] as one envelope per flush: a single fact travels
-   bare, several are wrapped in a {!Message.Batch}. [fact_messages] keeps
-   counting individual facts — the envelope only changes what crosses the
-   wire (one frame, shared spines) and how the receiver evaluates (one
-   semi-naive pass over the whole delta). *)
+(* Batching mode buffers every protocol message of the current activation
+   in the sender's outbox; {!flush_outbox} coalesces them into one
+   {!Message.Batch} envelope per destination. The flush happens *inside*
+   the activation — before the handler returns to the scheduler — which
+   keeps both fixpoint signals sound: the simulator's in-flight count sees
+   the envelope before the activation's unit is released, and the
+   Dijkstra-Scholten deficit is bumped before the wrapper's disengage
+   check runs. *)
+let buffer t ~src ~dst m =
+  if not t.batching then send_now t ~src ~dst m
+  else begin
+    let st = state t src in
+    match Hashtbl.find_opt st.out_tbl dst with
+    | Some l -> l := m :: !l
+    | None ->
+      Hashtbl.add st.out_tbl dst (ref [ m ]);
+      st.out_order <- dst :: st.out_order
+  end
+
+let flush_outbox t p =
+  let st = state t p in
+  match st.out_order with
+  | [] -> ()
+  | order ->
+    st.out_order <- [];
+    List.iter
+      (fun dst ->
+        let msgs = List.rev !(Hashtbl.find st.out_tbl dst) in
+        Hashtbl.remove st.out_tbl dst;
+        match msgs with
+        | [] -> ()
+        | [ m ] -> send_now t ~src:p ~dst m
+        | ms ->
+          Obs.Metrics.incr envelopes_c;
+          send_now t ~src:p ~dst (Message.Batch ms))
+      (List.rev order)
+
+(* Ship [facts] to [dst]. [fact_messages] counts individual facts — the
+   envelope only changes what crosses the wire (one frame, shared spines)
+   and how the receiver evaluates (one semi-naive pass over the whole
+   delta). In batching mode the facts join the activation's outbox and
+   coalesce with any control messages bound for the same destination; in
+   eager mode several facts still share one {!Message.Batch} per flush
+   (the historical behavior). *)
 let send_facts t ~src ~dst = function
   | [] -> ()
   | facts ->
     let n = List.length facts in
     Atomic.fetch_and_add t.fact_messages n |> ignore;
     Obs.Metrics.incr ~by:n fact_messages_c;
-    (match facts with
-    | [ fact ] -> send t ~src ~dst (Message.Fact fact)
-    | facts ->
-      Obs.Metrics.incr envelopes_c;
-      send t ~src ~dst (Message.Batch (List.map (fun f -> Message.Fact f) facts)))
+    if t.batching then
+      List.iter (fun f -> buffer t ~src ~dst (Message.Fact f)) facts
+    else (
+      match facts with
+      | [ fact ] -> send_now t ~src ~dst (Message.Fact fact)
+      | facts ->
+        Obs.Metrics.incr envelopes_c;
+        send_now t ~src ~dst (Message.Batch (List.map (fun f -> Message.Fact f) facts)))
 
 (* Group a flush's outputs by destination, preserving first-touch order of
    destinations and the per-destination fact order (determinism: the
@@ -160,7 +213,7 @@ let ensure_subscription t p ~owner ~rel_sym =
       Hashtbl.add st.subscriptions_sent (owner, rel_sym) ();
       Atomic.incr t.subscriptions;
       Obs.Metrics.incr subscriptions_c;
-      send t ~src:p ~dst:owner (Message.Subscribe rel_sym)
+      buffer t ~src:p ~dst:owner (Message.Subscribe rel_sym)
     end
   end
 
@@ -202,7 +255,7 @@ let rec walk t p (d : Message.delegation) =
       else begin
         Atomic.incr t.delegations;
         Obs.Metrics.incr delegations_c;
-        send t ~src:p ~dst:head.Datom.peer (Message.Delegate finish)
+        buffer t ~src:p ~dst:head.Datom.peer (Message.Delegate finish)
       end
     | Drule.Neq (x, y) :: rest -> go pos (lit_index + 1) bound prev_sup prev_owner (pending @ [ (x, y) ]) rest
     | Drule.Pos a :: _rest when not (String.equal a.Datom.peer p) ->
@@ -218,7 +271,7 @@ let rec walk t p (d : Message.delegation) =
       in
       Atomic.incr t.delegations;
       Obs.Metrics.incr delegations_c;
-      send t ~src:p ~dst:a.Datom.peer (Message.Delegate d')
+      buffer t ~src:p ~dst:a.Datom.peer (Message.Delegate d')
     | Drule.Pos a :: rest ->
       (* Local relation: one centralized-QSQ step. *)
       let pre_ground, pending =
@@ -376,12 +429,11 @@ and demand t p ~rel ~ad =
 (* Message handling and the public API                                 *)
 (* ------------------------------------------------------------------ *)
 
-let rec handle t p ~src msg =
+let rec handle_msg t p ~src msg =
   let st = state t p in
   Obs.Metrics.incr st.steps_c;
   match msg with
   | Message.Subscribe rel ->
-    (* the current extent ships as one envelope *)
     send_facts t ~src:p ~dst:src (Runtime.subscribe st.rt rel ~dst:src)
   | Message.Fact fact ->
     if Runtime.add_fact st.rt fact then
@@ -394,7 +446,7 @@ let rec handle t p ~src msg =
         (function
           | Message.Fact fact -> if Runtime.add_fact st.rt fact then Some fact else None
           | m ->
-            handle t p ~src m;
+            handle_msg t p ~src m;
             None)
         ms
     in
@@ -408,6 +460,15 @@ let rec handle t p ~src msg =
   | Message.Activate _ ->
     (* the supervisor's root injected the query (Dijkstra-Scholten mode) *)
     start_query t
+
+(* Outermost entry: one delivered message = one activation. The outbox is
+   flushed before returning to the scheduler — NOT inside nested
+   [handle_msg] calls for envelope members, so a whole Batch's responses
+   coalesce — and before the Dijkstra-Scholten wrapper's disengage check,
+   so the deficit already counts the flushed envelopes. *)
+and handle t p ~src msg =
+  handle_msg t p ~src msg;
+  flush_outbox t p
 
 (* Seed the input relation of the query and start the local rewriting at
    the supervisor's peer. *)
@@ -437,8 +498,8 @@ let ds_root = "#root"
 
 let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
     ?(eval_options = Eval.default_options) ?(termination = God_view)
-    ?(wire_verify = false) (program : Dprogram.t) ~(edb : Datom.t list)
-    ~(query : Datom.t) : t =
+    ?(wire_verify = false) ?(batching = true) (program : Dprogram.t)
+    ~(edb : Datom.t list) ~(query : Datom.t) : t =
   (* byte accounting runs every message through the real codec, with one
      connection per channel; [wire_verify] additionally decodes each
      message and insists on physical equality *)
@@ -460,8 +521,8 @@ let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
   in
   let states = Hashtbl.create 16 in
   let t =
-    { program; sim; states; query; query_peer = query.Datom.peer; detector;
-      delegations = Atomic.make 0; subscriptions = Atomic.make 0;
+    { program; sim; states; query; query_peer = query.Datom.peer; batching;
+      detector; delegations = Atomic.make 0; subscriptions = Atomic.make 0;
       fact_messages = Atomic.make 0; fresh = Atomic.make 0 }
   in
   List.iter
@@ -472,6 +533,8 @@ let create ?(seed = 0) ?(policy = Sim.Random_interleaving) ?(loss = 0.0)
           demanded = Hashtbl.create 16;
           delegations_seen = Hashtbl.create 16;
           subscriptions_sent = Hashtbl.create 16;
+          out_tbl = Hashtbl.create 8;
+          out_order = [];
           steps_c = Obs.Metrics.counter ("peer.steps." ^ p) }
       in
       List.iter
@@ -522,7 +585,10 @@ type outcome = {
    then driven by {!step} (interleaved service sessions) or {!run}. *)
 let start (t : t) =
   match t.detector with
-  | None -> start_query t
+  | None ->
+    start_query t;
+    (* the injection runs outside any activation; flush it explicitly *)
+    flush_outbox t t.query_peer
   | Some det ->
     (* the diffusing computation starts with the root's query injection *)
     Ds.start det t.sim ~dst:t.query_peer (Message.Activate t.query.Datom.rel)
@@ -568,7 +634,7 @@ let finish ?(deliveries = 0) (t : t) : outcome =
     ds_terminated = Option.map Ds.is_terminated t.detector;
   }
 
-let run ?max_steps ?jobs (t : t) ~(query : Datom.t) : outcome =
+let run ?max_steps ?jobs ?pinning (t : t) ~(query : Datom.t) : outcome =
   Obs.Trace.with_span "qsq_engine.run" ~attrs:[ ("query", Datom.to_string query) ]
   @@ fun () ->
   t.query <- query;
@@ -577,7 +643,7 @@ let run ?max_steps ?jobs (t : t) ~(query : Datom.t) : outcome =
   let deliveries =
     match jobs with
     | None -> Network.Sim.run ?max_steps t.sim
-    | Some jobs -> Network.Sim.run_parallel ?max_steps ~jobs t.sim
+    | Some jobs -> Network.Sim.run_parallel ?max_steps ~jobs ?pinning t.sim
   in
   finish ~deliveries t
 
@@ -615,6 +681,8 @@ let recycle (t : t) (program : Dprogram.t) ~(edb : Datom.t list) ~(query : Datom
       Hashtbl.clear st.demanded;
       Hashtbl.clear st.delegations_seen;
       Hashtbl.clear st.subscriptions_sent;
+      Hashtbl.clear st.out_tbl;
+      st.out_order <- [];
       List.iter
         (fun r ->
           let rel = r.Drule.head.Datom.rel in
@@ -627,10 +695,12 @@ let recycle (t : t) (program : Dprogram.t) ~(edb : Datom.t list) ~(query : Datom
       ignore (Runtime.add_fact (state t a.Datom.peer).rt (Datom.to_atom a)))
     edb
 
-let solve ?seed ?policy ?loss ?eval_options ?termination ?max_steps ?jobs program
-    ~edb ~query =
-  let t = create ?seed ?policy ?loss ?eval_options ?termination program ~edb ~query in
-  run ?max_steps ?jobs t ~query
+let solve ?seed ?policy ?loss ?eval_options ?termination ?batching ?max_steps ?jobs
+    ?pinning program ~edb ~query =
+  let t =
+    create ?seed ?policy ?loss ?eval_options ?termination ?batching program ~edb ~query
+  in
+  run ?max_steps ?jobs ?pinning t ~query
 
 let peer_store t p = Runtime.store (state t p).rt
 

@@ -29,6 +29,7 @@ val create :
   ?eval_options:Eval.options ->
   ?termination:termination_mode ->
   ?wire_verify:bool ->
+  ?batching:bool ->
   Dprogram.t ->
   edb:Datom.t list ->
   query:Datom.t ->
@@ -38,10 +39,14 @@ val create :
     spine costs its definition, later ones a varint id). [wire_verify]
     additionally decodes each message on the spot and raises
     {!Wire.Roundtrip_mismatch} unless the result is physically identical —
-    the service keeps this on. Answer facts destined for one peer are
-    flushed as one {!Message.Batch} envelope per handler activation; the
-    receiver coalesces the whole delta into a single semi-naive pass
-    (sound: monotone Datalog, confluent protocol). *)
+    the service keeps this on. With [batching] (the default), {e all}
+    protocol messages a handler activation produces — delegations,
+    subscriptions and answer facts alike — are flushed as one
+    {!Message.Batch} envelope per destination when the activation ends, in
+    both the sequential and the parallel scheduler; the receiver coalesces
+    the whole delta into a single semi-naive pass (sound: monotone
+    Datalog, confluent protocol). [~batching:false] restores the eager
+    per-message path, for byte-accounting comparisons. *)
 
 type outcome = {
   answers : Atom.t list;
@@ -58,14 +63,22 @@ type outcome = {
           [None] in god-view mode. *)
 }
 
-val run : ?max_steps:int -> ?jobs:int -> t -> query:Datom.t -> outcome
+val run :
+  ?max_steps:int ->
+  ?jobs:int ->
+  ?pinning:Network.Sim.pinning ->
+  t ->
+  query:Datom.t ->
+  outcome
 (** Seed the query's input relation at its peer, start the local rewriting,
     and run the network to quiescence. With [jobs], the network runs under
     {!Network.Sim.run_parallel} on that many domains instead of the seeded
     sequential scheduler; the protocol is confluent (idempotent
     delegations/subscriptions, monotone Datalog), so the final fact sets —
     and hence [answers], sorted structurally — are identical to a
-    sequential run. [policy]/[seed] are ignored in parallel mode. *)
+    sequential run. [pinning] (parallel mode only) selects peer home
+    domains; [Skewed] forces the work-stealing path. [policy]/[seed] are
+    ignored in parallel mode. *)
 
 val solve :
   ?seed:int ->
@@ -73,8 +86,10 @@ val solve :
   ?loss:float ->
   ?eval_options:Eval.options ->
   ?termination:termination_mode ->
+  ?batching:bool ->
   ?max_steps:int ->
   ?jobs:int ->
+  ?pinning:Network.Sim.pinning ->
   Dprogram.t ->
   edb:Datom.t list ->
   query:Datom.t ->

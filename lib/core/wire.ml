@@ -398,7 +398,10 @@ exception Roundtrip_mismatch of string
 (* One (encoder, decoder) pair per directed channel, created on first
    send. The table is shared across domains in parallel runs; the lock is
    held across the encode so each channel's codec state sees its sends in
-   order (per-channel call order is the send order — see Sim). *)
+   order. Per-channel call order equals send order even under work
+   stealing: a peer box runs on at most one domain at a time (Sim's
+   scheduled flag), so a given src's sends on any channel are serialized
+   by its activations, wherever those activations execute. *)
 let channel_table () =
   let tbl : (string * string, encoder * decoder) Hashtbl.t = Hashtbl.create 16 in
   let mu = Mutex.create () in

@@ -6,47 +6,63 @@
     intern table is global and append-only, which is safe because symbols are
     never deleted during a run.
 
-    A single mutex guards the table, the names array (which is swapped out
-    when it grows) and the gensym counter, so interning is safe from any
-    domain. [equal]/[compare]/[hash] stay lock-free: they touch only the
-    immutable integer. *)
+    A single mutex serializes writers (interning a *new* string, growing the
+    names array, the gensym counter). Readers never take it: [name] reads an
+    atomically published snapshot of the names array, so [compare_name] —
+    which sits under every structural term comparison and every canonical
+    output sort — is lock-free from any domain. Each domain also keeps a
+    private read cache for [intern] ({!Domain.DLS}), sound because the
+    global table is append-only: a cached id can never go stale. *)
 
 type t = int
 
 let mu = Mutex.create ()
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
-let names : string array ref = ref (Array.make 1024 "")
-let next = ref 0
+
+(* Publication order (all [Atomic.set], i.e. sequentially consistent):
+   entry write into the (possibly fresh) array, then [names], then [next].
+   Readers check [next] first and only then load [names]: seeing id < next
+   therefore guarantees the loaded array both covers [id] and carries its
+   entry, with no lock on the read side. *)
+let names : string array Atomic.t = Atomic.make (Array.make 1024 "")
+let next = Atomic.make 0
+
+let local_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let intern s =
-  Mutex.lock mu;
-  let id =
-    match Hashtbl.find_opt table s with
-    | Some id -> id
-    | None ->
-      let id = !next in
-      incr next;
-      if id >= Array.length !names then begin
-        let bigger = Array.make (2 * Array.length !names) "" in
-        Array.blit !names 0 bigger 0 (Array.length !names);
-        names := bigger
-      end;
-      !names.(id) <- s;
-      Hashtbl.add table s id;
-      id
-  in
-  Mutex.unlock mu;
-  id
+  let local = Domain.DLS.get local_key in
+  match Hashtbl.find_opt local s with
+  | Some id -> id
+  | None ->
+    Mutex.lock mu;
+    let id =
+      match Hashtbl.find_opt table s with
+      | Some id -> id
+      | None ->
+        let id = Atomic.get next in
+        let arr = Atomic.get names in
+        let arr =
+          if id >= Array.length arr then begin
+            let bigger = Array.make (2 * Array.length arr) "" in
+            Array.blit arr 0 bigger 0 (Array.length arr);
+            bigger
+          end
+          else arr
+        in
+        arr.(id) <- s;
+        Atomic.set names arr;
+        Atomic.set next (id + 1);
+        Hashtbl.add table s id;
+        id
+    in
+    Mutex.unlock mu;
+    Hashtbl.add local s id;
+    id
 
 let name id =
-  Mutex.lock mu;
-  let r =
-    if id < 0 || id >= !next then None else Some !names.(id)
-  in
-  Mutex.unlock mu;
-  match r with
-  | Some s -> s
-  | None -> invalid_arg "Symbol.name: unknown symbol"
+  if id < 0 || id >= Atomic.get next then invalid_arg "Symbol.name: unknown symbol"
+  else (Atomic.get names).(id)
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b

@@ -11,7 +11,10 @@
     style of Filliâtre–Conchon ("Type-safe modular hash-consing"): a global
     weak table (sharded, with a per-shard mutex, so concurrent interning from
     multiple domains is safe) maps each structure to a unique physical
-    representative, so
+    representative; each domain additionally keeps a lock-free weak arena
+    ({!Domain.DLS}) caching the representatives it has seen, so the hot
+    path — re-consing a spine that already exists — never touches a shard
+    mutex. Thus
 
     - [equal] is physical equality [(==)],
     - [hash], [is_ground], [depth] and [size] are cached field reads,
@@ -68,36 +71,78 @@ module W = Weak.Make (struct
   let hash t = t.hash
 end)
 
-(* The table is sharded by hash, one weak table + mutex per shard, so
-   concurrent cons calls from peer domains (parallel dQSQ) only contend
+(* The global table is sharded by hash, one weak table + mutex per shard,
+   so concurrent cons calls from peer domains (parallel dQSQ) only contend
    when they hash to the same shard. Within a shard, [W.merge] under the
    mutex guarantees a unique physical representative per structure. *)
 let shard_count = 16
 let tables = Array.init shard_count (fun _ -> W.create 1024)
 let locks = Array.init shard_count (fun _ -> Mutex.create ())
 
-(* Tags are drawn atomically *before* the table lookup, so a constructor
-   call that hits an existing representative wastes its tag. Gaps are
-   harmless: tags only feed the process-local [compare] below, which needs
-   distinctness and determinism within a run, not density. *)
+(* Tags are drawn in per-domain blocks (one atomic fetch-and-add per
+   [tag_block] distinct structures, instead of one per constructor call),
+   and only on the miss path. Gaps — from wasted block tails and from
+   structures another domain interned first — are harmless: tags only feed
+   the process-local [compare] below, which needs distinctness, not
+   density or cross-run stability. *)
 let next_tag = Atomic.make 0
+let tag_block = 512
+
+(* Domain-local intern arena: a *weak cache* of the global table's
+   representatives, probed lock-free before touching a shard mutex.
+
+   The ISSUE sketched private per-domain arenas with promotion deferred to
+   Wire-encode time; that is unsound here, because terms cross domains by
+   reference (simulator messages are not serialized between domains — the
+   codec only *prices* them) and work stealing migrates peers between
+   domains mid-run, so two private representatives of one structure could
+   meet and break [equal = (==)]. Instead the global table stays the
+   single source of truth and "promotion" is simply the arena's miss path
+   through the shard lock: every representative a domain ever returns is
+   already global, so [==] ≡ structural holds across domains by
+   construction, and the hot path (hashcons hits outnumber distinct
+   interns ~30:1 on the deep ring scenarios) costs no lock, no atomic —
+   just a probe of an unshared weak set. The arena is weak, so it pins
+   nothing: terms the GC collects simply miss and re-promote later. *)
+type arena = { cache : W.t; mutable tag_next : int; mutable tag_limit : int }
+
+let arena_key =
+  Domain.DLS.new_key (fun () -> { cache = W.create 4096; tag_next = 0; tag_limit = 0 })
+
+let draw_tag a =
+  if a.tag_next >= a.tag_limit then begin
+    let base = Atomic.fetch_and_add next_tag tag_block in
+    a.tag_next <- base;
+    a.tag_limit <- base + tag_block
+  end;
+  let tag = a.tag_next in
+  a.tag_next <- tag + 1;
+  tag
 
 (* Registered instruments (lib/obs): distinct structures interned vs
-   constructor calls answered by an existing representative. *)
+   constructor calls answered by an existing representative (in the
+   domain-local arena or the global table). *)
 let interned_c = Obs.Metrics.counter "term.interned"
 let hits_c = Obs.Metrics.counter "term.hashcons_hits"
 
 let hashcons node ~hash ~ground ~depth ~size =
-  let tag = Atomic.fetch_and_add next_tag 1 in
-  let candidate = { node; tag; hash; ground; depth; size } in
-  let i = hash land (shard_count - 1) in
-  let mu = locks.(i) in
-  Mutex.lock mu;
-  let t = W.merge tables.(i) candidate in
-  Mutex.unlock mu;
-  if t == candidate then Obs.Metrics.incr interned_c
-  else Obs.Metrics.incr hits_c;
-  t
+  let a = Domain.DLS.get arena_key in
+  let probe = { node; tag = -1; hash; ground; depth; size } in
+  match W.find_opt a.cache probe with
+  | Some t ->
+    Obs.Metrics.incr hits_c;
+    t
+  | None ->
+    let candidate = { probe with tag = draw_tag a } in
+    let i = hash land (shard_count - 1) in
+    let mu = locks.(i) in
+    Mutex.lock mu;
+    let t = W.merge tables.(i) candidate in
+    Mutex.unlock mu;
+    W.add a.cache t;
+    if t == candidate then Obs.Metrics.incr interned_c
+    else Obs.Metrics.incr hits_c;
+    t
 
 let cconst s =
   hashcons (Const s) ~hash:(Symbol.hash s) ~ground:true ~depth:1 ~size:1

@@ -34,29 +34,54 @@ let g_dropped = Obs.Metrics.counter "sim.dropped"
 let g_bytes = Obs.Metrics.counter "sim.bytes"
 let g_domains = Obs.Metrics.gauge "sim.domains"
 let g_mailbox_depth = Obs.Metrics.gauge "sim.mailbox_depth"
+let g_steals = Obs.Metrics.counter "sim.steals"
+let g_batches = Obs.Metrics.counter "sim.batches"
+let g_batch_size = Obs.Metrics.histogram "sim.batch_size"
 
 (* ------------------------------------------------------------------ *)
 (* Parallel scheduler state                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* One mailbox per worker domain; peers are pinned to domains, so each
-   peer's handler only ever runs on its owner domain (this is what makes
-   the per-peer mutable state in the engines and in the Dijkstra–Scholten
-   detector race-free without locks). *)
-type 'msg mailbox = {
-  mb_mu : Mutex.t;
-  mb_cond : Condition.t;
-  mb_q : (peer_id * peer_id * 'msg) Queue.t;  (* (src, dst, payload) *)
+(** How peers' home domains are assigned by {!run_parallel}. *)
+type pinning =
+  | Balanced  (** round-robin over domains in sorted-name order *)
+  | Skewed
+      (** every peer homes on domain 0 — other workers only ever get work
+          by stealing. A test/fuzz mode that forces the steal path. *)
+
+(* One box per PEER (not per domain): a mutex-guarded message queue plus a
+   [scheduled] flag. The flag makes peer activations mutually exclusive —
+   a box enters a domain's run queue exactly once per nonempty episode, so
+   at most one worker runs a given peer's handler at a time. Combined with
+   the happens-before edges of the box mutex (locked by every enqueuer and
+   by the draining worker), per-peer mutable state in the engines and in
+   the Dijkstra–Scholten detector still needs no locks of its own, even
+   though stealing migrates peers between domains: "pinned to one domain"
+   has weakened to "on at most one domain at a time, with ordered
+   hand-offs". *)
+type 'msg peer_box = {
+  pb_id : peer_id;
+  pb_home : int;  (* home domain: which run queue the box prefers *)
+  pb_mu : Mutex.t;
+  pb_q : (peer_id * 'msg) Queue.t;  (* (src, payload) *)
+  mutable pb_scheduled : bool;  (* guarded by pb_mu *)
+  pb_handler : 'msg t -> src:peer_id -> 'msg -> unit;
 }
 
-type 'msg parallel = {
-  mailboxes : 'msg mailbox array;
-  owner : (peer_id, int) Hashtbl.t;  (* read-only once domains are up *)
+and 'msg parallel = {
+  boxes : (peer_id, 'msg peer_box) Hashtbl.t;
+      (* read-only once domains are up *)
+  sched_mu : Mutex.t;  (* guards runqs *)
+  sched_cond : Condition.t;
+  runqs : 'msg peer_box Queue.t array;  (* runnable peers, one per domain *)
+  par_jobs : int;
   in_flight : int Atomic.t;
       (* queued + currently-being-handled messages. Incremented BEFORE a
          message is enqueued and decremented only AFTER its handler
-         returns, so a handler's own sends are counted before its unit is
-         released: [in_flight = 0] is a stable quiescence signal. *)
+         returns — batch drains decrement once per drained segment, after
+         the last handler of the segment — so a handler's own sends are
+         counted before its unit is released: [in_flight = 0] is a stable
+         quiescence signal. *)
   stop : bool Atomic.t;
   par_deliveries : int Atomic.t;
   par_budget : int;
@@ -66,13 +91,13 @@ type 'msg parallel = {
 
 (* Per-channel totals. The global mirror counter is cached here so the hot
    path pays one Hashtbl lookup per send, not one per-name registry probe. *)
-type channel_book = {
+and channel_book = {
   mutable pc_msgs : int;
   mutable pc_bytes : int;
   pc_global : Obs.Metrics.counter;  (* sim.channel_bytes.<src>-><dst> *)
 }
 
-type 'msg t = {
+and 'msg t = {
   rng : Random.State.t;
   loss_rng : Random.State.t;
   loss : float;  (* probability that a sent message is silently dropped *)
@@ -183,9 +208,10 @@ let bump_per_channel t ((src, dst) as key) bytes =
   book.pc_bytes <- book.pc_bytes + bytes;
   Obs.Metrics.incr ~by:bytes book.pc_global
 
-(* Parallel route: the message goes straight into the destination peer's
-   owner-domain mailbox. in_flight is incremented before the enqueue (see
-   the [parallel] type) so quiescence detection never under-counts. *)
+(* Parallel route: the message goes into the destination peer's box; if the
+   box was idle it becomes runnable on its home domain's queue. in_flight
+   is incremented before the enqueue (see the [parallel] type) so
+   quiescence detection never under-counts. *)
 let send_parallel t p ~src ~dst msg =
   let lost =
     t.loss > 0.0
@@ -205,17 +231,26 @@ let send_parallel t p ~src ~dst msg =
     tick t.c_sent g_sent
   end
   else begin
-    (* The sizer may thread per-channel codec state; calls for one channel
-       all come from the sending peer's owner domain, so per-channel call
-       order is still the send order. *)
+    (* The sizer may thread per-channel codec state; all sends on one
+       channel happen inside activations of the source peer, which the
+       scheduled flag serializes — so per-channel sizer call order is
+       still the send order, stealing or not. *)
     let sz = t.size_of ~src ~dst msg in
-    let mb = p.mailboxes.(Hashtbl.find p.owner dst) in
+    let b = Hashtbl.find p.boxes dst in
     Atomic.incr p.in_flight;
-    Mutex.lock mb.mb_mu;
-    Queue.add (src, dst, msg) mb.mb_q;
-    Obs.Metrics.set_max g_mailbox_depth (Queue.length mb.mb_q);
-    Condition.signal mb.mb_cond;
-    Mutex.unlock mb.mb_mu;
+    Mutex.lock b.pb_mu;
+    Queue.add (src, msg) b.pb_q;
+    let depth = Queue.length b.pb_q in
+    let newly_runnable = not b.pb_scheduled in
+    if newly_runnable then b.pb_scheduled <- true;
+    Mutex.unlock b.pb_mu;
+    Obs.Metrics.set_max g_mailbox_depth depth;
+    if newly_runnable then begin
+      Mutex.lock p.sched_mu;
+      Queue.add b p.runqs.(b.pb_home);
+      Condition.signal p.sched_cond;
+      Mutex.unlock p.sched_mu
+    end;
     tick t.c_sent g_sent;
     tick_by sz t.c_bytes g_bytes;
     Mutex.lock p.book_mu;
@@ -318,65 +353,131 @@ let record_error p e =
   ignore (Atomic.compare_and_set p.par_error None (Some e))
 
 let wake_all p =
-  Array.iter
-    (fun mb ->
-      Mutex.lock mb.mb_mu;
-      Condition.broadcast mb.mb_cond;
-      Mutex.unlock mb.mb_mu)
-    p.mailboxes
+  Mutex.lock p.sched_mu;
+  Condition.broadcast p.sched_cond;
+  Mutex.unlock p.sched_mu
 
 let stop_all p =
   Atomic.set p.stop true;
   wake_all p
 
-(* Worker loop for domain [d]: block on the mailbox, deliver, release the
-   message's in_flight unit only after the handler returned (so handler
-   sends are already counted), detect global quiescence on the transition
-   to zero. On stop, exit immediately — stop with nonempty queues only
-   happens on error/budget, where dropping in-flight messages is the
-   intended behavior (the exception is re-raised by [run_parallel]). *)
-let worker t p d =
-  let mb = p.mailboxes.(d) in
-  let rec loop () =
-    Mutex.lock mb.mb_mu;
-    while Queue.is_empty mb.mb_q && not (Atomic.get p.stop) do
-      Condition.wait mb.mb_cond mb.mb_mu
-    done;
-    if Atomic.get p.stop then Mutex.unlock mb.mb_mu
-    else begin
-      let src, dst, msg = Queue.pop mb.mb_q in
-      Mutex.unlock mb.mb_mu;
-      tick t.c_delivered g_delivered;
-      if t.tracing then begin
-        Mutex.lock p.book_mu;
-        t.trace <- (src, dst, t.describe msg) :: t.trace;
-        Mutex.unlock p.book_mu
-      end;
-      let handler = Hashtbl.find t.handlers dst in
-      (try handler t ~src msg
-       with e ->
-         record_error p e;
-         stop_all p);
-      let delivered = 1 + Atomic.fetch_and_add p.par_deliveries 1 in
-      if delivered > p.par_budget then begin
-        record_error p (Budget_exhausted p.par_budget);
-        stop_all p
-      end;
-      (* release after the handler: its sends incremented in_flight first,
-         so a transition to 0 here means every queue is empty and every
-         handler has returned — stable quiescence. *)
-      if Atomic.fetch_and_add p.in_flight (-1) = 1 then stop_all p;
-      loop ()
+(* Claim a runnable peer for domain [d]: own run queue first; when it is
+   empty, steal from the most-loaded other domain's queue — whole-mailbox
+   segments, since claiming a box claims everything queued in it. Blocks
+   on the scheduler condition when no peer is runnable anywhere. Returns
+   [None] on stop. *)
+let take_box p d =
+  Mutex.lock p.sched_mu;
+  let rec go () =
+    if Atomic.get p.stop then begin
+      Mutex.unlock p.sched_mu;
+      None
     end
+    else if not (Queue.is_empty p.runqs.(d)) then begin
+      let b = Queue.pop p.runqs.(d) in
+      Mutex.unlock p.sched_mu;
+      Some b
+    end
+    else begin
+      let victim = ref (-1) and best = ref 0 in
+      for j = 0 to p.par_jobs - 1 do
+        let len = Queue.length p.runqs.(j) in
+        if j <> d && len > !best then begin
+          victim := j;
+          best := len
+        end
+      done;
+      if !victim >= 0 then begin
+        let b = Queue.pop p.runqs.(!victim) in
+        Obs.Metrics.incr g_steals;
+        Mutex.unlock p.sched_mu;
+        Some b
+      end
+      else begin
+        Condition.wait p.sched_cond p.sched_mu;
+        go ()
+      end
+    end
+  in
+  go ()
+
+(* Run one peer activation: drain the box's whole queue into a local
+   segment under one lock acquisition, then deliver every message with no
+   lock held. The segment's in_flight units are released together, after
+   its last handler returned — handler sends increment in_flight before
+   the release, so a transition to 0 still means every queue is empty and
+   every handler has returned: stable quiescence, now at drained-segment
+   granularity. Finally the box either reschedules itself (messages
+   arrived while it ran) or goes idle; both arms hold pb_mu, so the
+   hand-off to the next enqueuer is race-free. *)
+let process_box t p b =
+  let local = Queue.create () in
+  Mutex.lock b.pb_mu;
+  Obs.Metrics.set_max g_mailbox_depth (Queue.length b.pb_q);
+  Queue.transfer b.pb_q local;
+  Mutex.unlock b.pb_mu;
+  let n = Queue.length local in
+  if n > 0 then begin
+    Obs.Metrics.incr g_batches;
+    Obs.Metrics.observe_int g_batch_size n
+  end;
+  let handled = ref 0 in
+  (try
+     while (not (Queue.is_empty local)) && not (Atomic.get p.stop) do
+       let src, msg = Queue.pop local in
+       incr handled;
+       tick t.c_delivered g_delivered;
+       if t.tracing then begin
+         Mutex.lock p.book_mu;
+         t.trace <- (src, b.pb_id, t.describe msg) :: t.trace;
+         Mutex.unlock p.book_mu
+       end;
+       b.pb_handler t ~src msg;
+       let delivered = 1 + Atomic.fetch_and_add p.par_deliveries 1 in
+       if delivered > p.par_budget then begin
+         record_error p (Budget_exhausted p.par_budget);
+         stop_all p
+       end
+     done
+   with e ->
+     record_error p e;
+     stop_all p);
+  (* stop with undelivered messages only happens on error/budget, where
+     dropping in-flight work is intended (the exception is re-raised by
+     [run_parallel]); the quiescence count only releases what ran. *)
+  if !handled > 0 && Atomic.fetch_and_add p.in_flight (- !handled) = !handled then
+    stop_all p;
+  Mutex.lock b.pb_mu;
+  if Queue.is_empty b.pb_q then begin
+    b.pb_scheduled <- false;
+    Mutex.unlock b.pb_mu
+  end
+  else begin
+    Mutex.unlock b.pb_mu;
+    Mutex.lock p.sched_mu;
+    Queue.add b p.runqs.(b.pb_home);
+    Condition.signal p.sched_cond;
+    Mutex.unlock p.sched_mu
+  end
+
+let worker t p d =
+  let rec loop () =
+    match take_box p d with
+    | None -> ()
+    | Some b ->
+      process_box t p b;
+      loop ()
   in
   loop ()
 
-(** Run to quiescence with [jobs] worker domains; peers are pinned to
-    domains round-robin in sorted-name order. Returns the number of
-    deliveries performed by this call. Delivery order is whatever the
+(** Run to quiescence with [jobs] worker domains. Each peer has its own
+    box homed on a domain (round-robin in sorted-name order under
+    [Balanced] pinning; all on domain 0 under [Skewed]); idle workers
+    steal runnable peers from the most-loaded domain. Returns the number
+    of deliveries performed by this call. Delivery order is whatever the
     domain scheduler produces — for confluent protocols (dQSQ) the final
     fact sets still match the sequential scheduler exactly. *)
-let run_parallel ?(max_steps = 10_000_000) ?jobs t =
+let run_parallel ?(max_steps = 10_000_000) ?jobs ?(pinning = Balanced) t =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
@@ -386,15 +487,22 @@ let run_parallel ?(max_steps = 10_000_000) ?jobs t =
   Obs.Trace.with_span "sim.run_parallel" ~attrs:[ ("jobs", string_of_int jobs) ]
   @@ fun () ->
   let peer_list = List.sort compare (peers t) in
-  let owner = Hashtbl.create 16 in
-  List.iteri (fun i id -> Hashtbl.add owner id (i mod jobs)) peer_list;
+  let boxes = Hashtbl.create 16 in
+  List.iteri
+    (fun i id ->
+      let home = match pinning with Balanced -> i mod jobs | Skewed -> 0 in
+      Hashtbl.add boxes id
+        { pb_id = id; pb_home = home; pb_mu = Mutex.create ();
+          pb_q = Queue.create (); pb_scheduled = false;
+          pb_handler = Hashtbl.find t.handlers id })
+    peer_list;
   let p =
     {
-      mailboxes =
-        Array.init jobs (fun _ ->
-            { mb_mu = Mutex.create (); mb_cond = Condition.create ();
-              mb_q = Queue.create () });
-      owner;
+      boxes;
+      sched_mu = Mutex.create ();
+      sched_cond = Condition.create ();
+      runqs = Array.init jobs (fun _ -> Queue.create ());
+      par_jobs = jobs;
       in_flight = Atomic.make 0;
       stop = Atomic.make false;
       par_deliveries = Atomic.make 0;
@@ -404,18 +512,23 @@ let run_parallel ?(max_steps = 10_000_000) ?jobs t =
     }
   in
   (* Migrate messages already queued under the sequential scheduler (e.g.
-     the initial query injected before [run_parallel]) into the mailboxes.
-     Iterating channels in creation order preserves per-channel FIFO. *)
+     the initial query injected before [run_parallel]) into the peer
+     boxes. Iterating channels in creation order preserves per-channel
+     FIFO. Domains are not up yet, so no locking is needed here. *)
   for i = 0 to t.channel_count - 1 do
-    let (_, dst) as key = t.channel_order.(i) in
+    let (src, dst) as key = t.channel_order.(i) in
     match Hashtbl.find_opt t.channels key with
     | Some q ->
-      let mb = p.mailboxes.(Hashtbl.find owner dst) in
+      let b = Hashtbl.find boxes dst in
       while not (Queue.is_empty q) do
         let msg = Queue.pop q in
         Atomic.incr p.in_flight;
-        Queue.add (fst key, dst, msg) mb.mb_q
-      done
+        Queue.add (src, msg) b.pb_q
+      done;
+      if (not (Queue.is_empty b.pb_q)) && not b.pb_scheduled then begin
+        b.pb_scheduled <- true;
+        Queue.add b p.runqs.(b.pb_home)
+      end
     | None -> ()
   done;
   Queue.clear t.pending;

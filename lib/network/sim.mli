@@ -59,16 +59,27 @@ val run : ?max_steps:int -> 'msg t -> int
 (** Deliver until quiescent; returns the number of deliveries.
     @raise Budget_exhausted after [max_steps] deliveries. *)
 
-val run_parallel : ?max_steps:int -> ?jobs:int -> 'msg t -> int
+type pinning =
+  | Balanced  (** peer home domains round-robin in sorted-name order *)
+  | Skewed
+      (** all peers homed on domain 0, so other workers only ever get
+          work by stealing — a test/fuzz mode that forces the steal path *)
+
+val run_parallel : ?max_steps:int -> ?jobs:int -> ?pinning:pinning -> 'msg t -> int
 (** Deliver until quiescent using [jobs] worker domains (default
-    {!Domain.recommended_domain_count}), one thread-safe mailbox per
-    domain, peers pinned round-robin in sorted-name order — so each
-    peer's handler always runs on the same domain and per-peer mutable
-    state needs no locks. Messages already queued under the sequential
-    scheduler are migrated in (per-channel FIFO preserved). Termination
-    uses an atomic in-flight count: a message's unit is released only
-    after its handler returns, so the count reaching zero is a stable
-    global-quiescence signal. Delivery order across channels is
+    {!Domain.recommended_domain_count}). Each peer owns a mailbox box
+    homed on a domain (per [pinning], default [Balanced]); a worker claims
+    a runnable peer — stealing whole boxes from the most-loaded other
+    domain when its own run queue is empty ([sim.steals]) — and drains the
+    peer's entire mailbox per claim ([sim.batches]/[sim.batch_size]),
+    running every handler without holding any lock. A scheduled flag makes
+    peer activations mutually exclusive, so per-peer mutable state still
+    needs no locks even though peers migrate between domains. Messages
+    already queued under the sequential scheduler are migrated in
+    (per-channel FIFO preserved). Termination uses an atomic in-flight
+    count at drained-segment granularity: a segment's units are released
+    only after its last handler returns, so the count reaching zero is a
+    stable global-quiescence signal. Delivery order across channels is
     nondeterministic; for confluent protocols (dQSQ) final fact sets
     equal the sequential scheduler's.
     @raise Budget_exhausted after [max_steps] total deliveries.
